@@ -1,0 +1,62 @@
+// E13 — ablation: design choices of the pipelined solver.
+//   * row-priority vs column-priority pipelining (paper Fig. 3 b/c);
+//   * block size b of the block-cyclic mapping (the b(q-1) vs t/b trade).
+#include <iostream>
+
+#include "bench_common.hpp"
+
+namespace sparts::bench {
+namespace {
+
+void run() {
+  print_header("E13 (ablation)", "pipelining variant and block size");
+  // A 3-D problem: its large supernodes are where the pipelining variant
+  // and block size actually matter.
+  PreparedProblem prob =
+      prepare(solver::paper_problem("CUBE35", bench_scale()));
+  const index_t p = std::min<index_t>(bench_max_p(), 16);
+  std::cout << "matrix: " << prob.name << " (N = " << prob.a.n()
+            << "), p = " << p << "\n\n";
+
+  TextTable table({"block size b", "NRHS", "column-priority (s)",
+                   "row-priority (s)", "fan-out (s)", "fan-out/pipeline"});
+  for (index_t b : {1, 2, 4, 8, 16, 32}) {
+    for (index_t m : {1, 30}) {
+      partrisolve::Options col;
+      col.block_size = b;
+      col.pipelining = partrisolve::Pipelining::column_priority;
+      partrisolve::Options row = col;
+      row.pipelining = partrisolve::Pipelining::row_priority;
+      partrisolve::Options fan = col;
+      fan.pipelining = partrisolve::Pipelining::fan_out;
+      const SolveMeasurement mc = measure_solve(prob, p, m, col);
+      const SolveMeasurement mr = measure_solve(prob, p, m, row);
+      const SolveMeasurement mf = measure_solve(prob, p, m, fan);
+      table.new_row();
+      table.add(static_cast<long long>(b));
+      table.add(static_cast<long long>(m));
+      table.add(mc.fb_time, 4);
+      table.add(mr.fb_time, 4);
+      table.add(mf.fb_time, 4);
+      table.add(mf.fb_time / mc.fb_time, 2);
+    }
+  }
+  std::cout << table;
+  std::cout << "\nShape to expect: tiny b pays q+t/b-1 startups per "
+               "supernode (startup-bound), huge b\nserializes the pipeline "
+               "(bandwidth/imbalance-bound); the sweet spot sits in "
+               "between,\nand the two priority variants stay within a "
+               "modest factor of each other (paper: both\nare viable; the "
+               "authors chose column-priority for locality).  The fan-out\n"
+               "baseline replaces the ring pipeline with per-block "
+               "broadcasts — its extra log-q\nstartups per block are "
+               "exactly what the paper's pipelining avoids.\n";
+}
+
+}  // namespace
+}  // namespace sparts::bench
+
+int main() {
+  sparts::bench::run();
+  return 0;
+}

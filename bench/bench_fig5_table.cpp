@@ -1,0 +1,66 @@
+// E6 — Figure 5: communication overheads and isoefficiency functions for
+// factorization and triangular solution under 1-D and 2-D partitionings.
+//
+// The table itself is analytic (reproduced programmatically from the
+// paper's derivations); we then verify the central empirical content —
+// overhead growth rates — by measuring T_o = p T_P - T_S for the solver
+// on the simulator and checking it grows ~p^2 at fixed N.
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "model/model.hpp"
+
+namespace sparts::bench {
+namespace {
+
+void run() {
+  print_header("E6 (Figure 5)", "overheads and isoefficiency functions");
+  TextTable table({"matrix type", "partitioning", "fact. comm overhead",
+                   "fact. iso", "solve comm overhead", "solve iso",
+                   "overall iso"});
+  for (const auto& row : model::figure5_rows()) {
+    table.new_row();
+    table.add(row.matrix_type);
+    table.add(row.partitioning);
+    table.add(row.fact_overhead);
+    table.add(row.fact_iso);
+    table.add(row.solve_overhead);
+    table.add(row.solve_iso);
+    table.add(row.overall_iso);
+  }
+  std::cout << table;
+
+  // Empirical spot-check of the solver's overhead growth at fixed N:
+  // T_o(p) = p T_P(p) - T_S should grow roughly like p^2 once the O(p)
+  // pipeline term dominates (so T_o doubles its growth exponent between
+  // small and large p).
+  std::cout << "\nMeasured solver overhead T_o = p*T_P - T_S (grid2d, fixed "
+               "N):\n";
+  PreparedProblem prob = prepare_grid(48, 48);
+  const SolveMeasurement serial = measure_solve(prob, 1, 1);
+  TextTable t2({"p", "T_P (s)", "T_o (s)", "T_o growth vs previous"});
+  double prev_to = 0.0;
+  for (index_t p = 2; p <= std::min<index_t>(bench_max_p(), 64); p *= 2) {
+    const SolveMeasurement meas = measure_solve(prob, p, 1);
+    const double to = p * meas.fb_time - serial.fb_time;
+    t2.new_row();
+    t2.add(static_cast<long long>(p));
+    t2.add(meas.fb_time, 5);
+    t2.add(to, 5);
+    t2.add(prev_to > 0.0 ? to / prev_to : 0.0, 2);
+    prev_to = to;
+  }
+  std::cout << t2;
+  std::cout << "\nPaper reference shape: at fixed N the overhead growth "
+               "factor per doubling of p\napproaches 4 (T_o ~ p^2), the "
+               "signature of the O(p^2) isoefficiency.\n";
+}
+
+}  // namespace
+}  // namespace sparts::bench
+
+int main() {
+  sparts::bench::run();
+  return 0;
+}

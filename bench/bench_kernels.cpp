@@ -1,0 +1,137 @@
+// Microbenchmarks of the dense kernels and core sparse phases
+// (google-benchmark).  These measure *host* throughput — useful for
+// knowing how fast the simulator itself runs — as opposed to the
+// simulated T3D times of the experiment benches.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "dense/cholesky.hpp"
+#include "dense/kernels.hpp"
+#include "numeric/multifrontal.hpp"
+#include "ordering/etree.hpp"
+#include "ordering/mindeg.hpp"
+#include "ordering/nested_dissection.hpp"
+#include "sparse/generators.hpp"
+#include "sparse/permutation.hpp"
+#include "symbolic/symbolic.hpp"
+#include "trisolve/trisolve.hpp"
+
+namespace sparts {
+namespace {
+
+void BM_PanelGemm(benchmark::State& state) {
+  const index_t n = state.range(0);
+  Rng rng(1);
+  std::vector<real_t> a(static_cast<std::size_t>(n * n));
+  std::vector<real_t> b(static_cast<std::size_t>(n * n));
+  std::vector<real_t> c(static_cast<std::size_t>(n * n), 0.0);
+  for (auto& v : a) v = rng.uniform(-1.0, 1.0);
+  for (auto& v : b) v = rng.uniform(-1.0, 1.0);
+  for (auto _ : state) {
+    dense::panel_gemm(n, n, n, 1.0, a.data(), n, b.data(), n, c.data(), n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_PanelGemm)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_PanelCholesky(benchmark::State& state) {
+  const index_t n = state.range(0);
+  Rng rng(2);
+  dense::Matrix base(n, n);
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t i = j; i < n; ++i) {
+      base(i, j) = i == j ? static_cast<real_t>(n) : rng.uniform(-1.0, 1.0);
+    }
+  }
+  for (auto _ : state) {
+    dense::Matrix a = base;
+    dense::panel_cholesky(n, n, a.col(0), n);
+    benchmark::DoNotOptimize(a.col(0));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n / 3);
+}
+BENCHMARK(BM_PanelCholesky)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_PanelTrsm(benchmark::State& state) {
+  const index_t n = state.range(0);
+  const index_t m = 8;
+  Rng rng(3);
+  dense::Matrix l(n, n);
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t i = j; i < n; ++i) {
+      l(i, j) = i == j ? 2.0 : rng.uniform(-0.1, 0.1);
+    }
+  }
+  std::vector<real_t> b(static_cast<std::size_t>(n * m), 1.0);
+  for (auto _ : state) {
+    std::vector<real_t> x = b;
+    dense::panel_trsm_lower(n, m, l.col(0), n, x.data(), n);
+    benchmark::DoNotOptimize(x.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * m);
+}
+BENCHMARK(BM_PanelTrsm)->Arg(64)->Arg(256);
+
+void BM_SymbolicCholesky(benchmark::State& state) {
+  const index_t k = state.range(0);
+  sparse::SymmetricCsc a = sparse::permute_symmetric(
+      sparse::grid2d(k, k), ordering::nested_dissection_grid2d(k, k));
+  for (auto _ : state) {
+    auto sym = symbolic::symbolic_cholesky(a);
+    benchmark::DoNotOptimize(sym.nnz());
+  }
+}
+BENCHMARK(BM_SymbolicCholesky)->Arg(32)->Arg(64);
+
+void BM_MultifrontalFactor(benchmark::State& state) {
+  const index_t k = state.range(0);
+  sparse::SymmetricCsc a = sparse::permute_symmetric(
+      sparse::grid2d(k, k), ordering::nested_dissection_grid2d(k, k));
+  for (auto _ : state) {
+    auto l = numeric::multifrontal_cholesky(a);
+    benchmark::DoNotOptimize(l.stored_entries());
+  }
+}
+BENCHMARK(BM_MultifrontalFactor)->Arg(32)->Arg(64);
+
+void BM_SequentialSolve(benchmark::State& state) {
+  const index_t k = state.range(0);
+  const index_t m = state.range(1);
+  sparse::SymmetricCsc a = sparse::permute_symmetric(
+      sparse::grid2d(k, k), ordering::nested_dissection_grid2d(k, k));
+  auto l = numeric::multifrontal_cholesky(a);
+  Rng rng(4);
+  std::vector<real_t> b = sparse::random_rhs(a.n(), m, rng);
+  for (auto _ : state) {
+    std::vector<real_t> x = b;
+    trisolve::full_solve(l, x.data(), m);
+    benchmark::DoNotOptimize(x.data());
+  }
+}
+BENCHMARK(BM_SequentialSolve)->Args({64, 1})->Args({64, 10});
+
+void BM_NestedDissection(benchmark::State& state) {
+  const index_t k = state.range(0);
+  sparse::SymmetricCsc a = sparse::grid2d(k, k);
+  for (auto _ : state) {
+    auto p = ordering::nested_dissection(a);
+    benchmark::DoNotOptimize(p.n());
+  }
+}
+BENCHMARK(BM_NestedDissection)->Arg(24)->Arg(48);
+
+void BM_MinimumDegree(benchmark::State& state) {
+  const index_t k = state.range(0);
+  sparse::SymmetricCsc a = sparse::grid2d(k, k);
+  for (auto _ : state) {
+    auto p = ordering::minimum_degree(a);
+    benchmark::DoNotOptimize(p.n());
+  }
+}
+BENCHMARK(BM_MinimumDegree)->Arg(16)->Arg(24);
+
+}  // namespace
+}  // namespace sparts
+
+BENCHMARK_MAIN();

@@ -1,0 +1,92 @@
+// E17 — the paper's concluding remarks: "A scalable parallel solver for
+// sparse linear systems must implement all these phases effectively in
+// parallel ... The results of this paper bring us another step closer to
+// a complete scalable direct solver."
+//
+// This bench runs the complete pipeline — symbolic analysis,
+// factorization, redistribution, triangular solves — distributed on the
+// simulated machine, and shows how the phases' shares shift with p:
+// factorization dominates everywhere (the paper's justification for
+// parallelizing the less-scalable solve phase anyway), and no phase is a
+// sequential bottleneck.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "parfact/parfact.hpp"
+#include "parfact/parsymbolic.hpp"
+#include "redist/redist.hpp"
+
+namespace sparts::bench {
+namespace {
+
+void run() {
+  print_header("E17 (concluding remarks)",
+               "all four phases, distributed, vs processor count");
+  auto problem = solver::paper_problem("BCSSTK31", bench_scale());
+  const sparse::SymmetricCsc a =
+      sparse::permute_symmetric(problem.matrix, problem.nd_ordering);
+  const symbolic::SymbolicFactor sym = symbolic::symbolic_cholesky(a);
+  const symbolic::SupernodePartition part =
+      symbolic::fundamental_supernodes(sym);
+  std::cout << "matrix: " << problem.name << " (N = " << a.n()
+            << "), NRHS = 1\n\n";
+
+  TextTable table({"p", "symbolic (s)", "factorization (s)", "redist (s)",
+                   "FBsolve (s)", "solve share of total"});
+  for (index_t p = 1; p <= std::min<index_t>(bench_max_p(), 64); p *= 4) {
+    double t_sym = 0.0, t_fact = 0.0, t_red = 0.0, t_solve = 0.0;
+    {
+      simpar::Machine machine(t3d_config(p));
+      t_sym = parfact::parallel_symbolic(machine, a).time();
+    }
+    const mapping::SubcubeMapping fmap = mapping::subtree_to_subcube(
+        part, p, mapping::factor_work_weights(part));
+    numeric::SupernodalFactor factor;
+    {
+      simpar::Machine machine(t3d_config(p));
+      t_fact = parfact::parallel_multifrontal(machine, a, part, fmap,
+                                              factor)
+                   .time();
+    }
+    const mapping::SubcubeMapping smap =
+        mapping::subtree_to_subcube(part, p);
+    partrisolve::DistributedFactor local_factor;
+    {
+      simpar::Machine machine(t3d_config(p));
+      t_red = redist::redistribute_factor(machine, factor, smap, {},
+                                          &local_factor)
+                  .time();
+    }
+    {
+      partrisolve::DistributedTrisolver solver(factor, &local_factor, smap,
+                                               {});
+      simpar::Machine machine(t3d_config(p));
+      Rng rng(5);
+      std::vector<real_t> b = sparse::random_rhs(a.n(), 1, rng);
+      std::vector<real_t> x(static_cast<std::size_t>(a.n()), 0.0);
+      auto [fw, bw] = solver.solve(machine, b, x, 1);
+      t_solve = fw.time() + bw.time();
+    }
+    const double total = t_sym + t_fact + t_red + t_solve;
+    table.new_row();
+    table.add(static_cast<long long>(p));
+    table.add(t_sym, 4);
+    table.add(t_fact, 4);
+    table.add(t_red, 4);
+    table.add(t_solve, 4);
+    table.add(format_fixed(100.0 * t_solve / total, 1) + "%");
+  }
+  std::cout << table;
+  std::cout << "\nPaper reference shape: numerical factorization dominates "
+               "at every p; the solve stays\na small share despite its "
+               "worse isoefficiency; symbolic analysis and redistribution\n"
+               "are noise — the complete pipeline scales.\n";
+}
+
+}  // namespace
+}  // namespace sparts::bench
+
+int main() {
+  sparts::bench::run();
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Ordering study on a 2-D finite-element problem: how the fill-reducing
+// ordering changes nnz(L), factorization flops, and solve time — the
+// reason the paper assumes nested dissection.
+//
+// Build & run:  ./build/examples/poisson2d_orderings
+#include <iostream>
+#include <vector>
+
+#include "common/table.hpp"
+#include "common/timer.hpp"
+#include "solver/sparse_solver.hpp"
+#include "sparse/generators.hpp"
+#include "trisolve/trisolve.hpp"
+
+int main() {
+  using namespace sparts;
+
+  const index_t k = 60;
+  const sparse::SymmetricCsc a = sparse::grid2d(k, k, /*stencil=*/9);
+  std::cout << "2-D FEM-style problem: " << k << "x" << k
+            << " 9-point stencil, N = " << a.n() << "\n\n";
+
+  TextTable table({"ordering", "nnz(L)", "factor flops", "factor time (s)",
+                   "solve time (ms)", "residual"});
+
+  struct Entry {
+    const char* name;
+    solver::OrderingMethod method;
+  };
+  const Entry entries[] = {
+      {"natural", solver::OrderingMethod::natural},
+      {"RCM", solver::OrderingMethod::rcm},
+      {"minimum degree", solver::OrderingMethod::minimum_degree},
+      {"nested dissection", solver::OrderingMethod::nested_dissection},
+  };
+
+  Rng rng(3);
+  const index_t m = 1;
+  const std::vector<real_t> b = sparse::random_rhs(a.n(), m, rng);
+
+  for (const Entry& e : entries) {
+    solver::Options opt;
+    opt.ordering = e.method;
+    WallTimer timer;
+    const solver::SparseSolver s = solver::SparseSolver::factorize(a, opt);
+    const double factor_seconds = timer.seconds();
+
+    timer.reset();
+    const std::vector<real_t> x = s.solve(b, m);
+    const double solve_seconds = timer.seconds();
+
+    table.new_row();
+    table.add(e.name);
+    table.add(static_cast<long long>(s.info().factor_nnz));
+    table.add(format_si(static_cast<double>(s.info().factor_flops)));
+    table.add(factor_seconds, 3);
+    table.add(solve_seconds * 1e3, 2);
+    table.add(trisolve::relative_residual(a, x, b, m), 2);
+  }
+  std::cout << table;
+  std::cout << "\nNested dissection gives the least fill and — crucially "
+               "for the paper — a balanced\nelimination tree, which is what "
+               "makes subtree-to-subcube parallelism effective.\n";
+  return 0;
+}

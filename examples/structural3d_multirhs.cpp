@@ -1,0 +1,49 @@
+// A 3-D structural-analysis scenario: one stiffness matrix, many load
+// cases — the setting where the paper's parallel triangular solvers pay
+// off.  Runs the full distributed pipeline (2-D-partitioned factorization,
+// redistribution, pipelined solves) on the simulated machine and shows the
+// amortization across right-hand sides.
+//
+// Build & run:  ./build/examples/structural3d_multirhs
+#include <iostream>
+#include <vector>
+
+#include "common/table.hpp"
+#include "solver/sparse_solver.hpp"
+#include "sparse/generators.hpp"
+#include "trisolve/trisolve.hpp"
+
+int main() {
+  using namespace sparts;
+
+  // A 14^3 hexahedral mesh (N = 2744) standing in for a component model.
+  const index_t k = 14;
+  const sparse::SymmetricCsc a = sparse::grid3d(k, k, k);
+  const index_t p = 16;
+  std::cout << "3-D mesh " << k << "^3 (N = " << a.n() << "), " << p
+            << " simulated processors\n\n";
+
+  TextTable table({"load cases (NRHS)", "factor (s)", "redistribute (s)",
+                   "fw+bw solve (s)", "total (s)", "solve share",
+                   "residual"});
+  for (index_t m : {1, 8, 32}) {
+    Rng rng(11);
+    const std::vector<real_t> b = sparse::random_rhs(a.n(), m, rng);
+    const solver::ParallelSolveResult r = solver::parallel_solve(a, b, m, p);
+    const double total = r.factor_time + r.redist_time + r.solve_time();
+    table.new_row();
+    table.add(static_cast<long long>(m));
+    table.add(r.factor_time, 4);
+    table.add(r.redist_time, 4);
+    table.add(r.solve_time(), 4);
+    table.add(total, 4);
+    table.add(format_fixed(100.0 * r.solve_time() / total, 1) + "%");
+    table.add(trisolve::relative_residual(a, r.x, b, m), 2);
+  }
+  std::cout << table;
+  std::cout << "\nFactorization and redistribution are one-time costs; the "
+               "triangular solves are what\nrepeats per load case — which "
+               "is why the paper parallelizes them even though they\nare "
+               "less scalable than factorization.\n";
+  return 0;
+}

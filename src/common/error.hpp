@@ -1,0 +1,67 @@
+// Error handling: SPARTS reports precondition violations and runtime
+// failures through exceptions carrying formatted messages.
+//
+// SPARTS_CHECK(cond, msg...)   -- always-on invariant check (throws).
+// SPARTS_DCHECK(cond)          -- debug-only assert (compiled out in NDEBUG).
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace sparts {
+
+/// Base class of all SPARTS exceptions.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A caller violated a documented precondition.
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// Numerical failure (e.g. non-positive pivot in Cholesky).
+class NumericalError : public Error {
+ public:
+  explicit NumericalError(const std::string& what) : Error(what) {}
+};
+
+/// Malformed input file.
+class IoError : public Error {
+ public:
+  explicit IoError(const std::string& what) : Error(what) {}
+};
+
+/// The simulated machine deadlocked (every rank blocked in recv).
+class DeadlockError : public Error {
+ public:
+  explicit DeadlockError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void throw_check_failure(const char* expr, const char* file,
+                                      int line, const std::string& msg);
+}  // namespace detail
+
+}  // namespace sparts
+
+#define SPARTS_CHECK(cond, ...)                                         \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      ::std::ostringstream sparts_check_oss_;                           \
+      sparts_check_oss_ << "" __VA_ARGS__;                              \
+      ::sparts::detail::throw_check_failure(#cond, __FILE__, __LINE__,  \
+                                            sparts_check_oss_.str());   \
+    }                                                                   \
+  } while (0)
+
+#ifdef NDEBUG
+#define SPARTS_DCHECK(cond) \
+  do {                      \
+  } while (0)
+#else
+#define SPARTS_DCHECK(cond) SPARTS_CHECK(cond)
+#endif

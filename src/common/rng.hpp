@@ -1,0 +1,50 @@
+// Deterministic random number generation.
+//
+// Every randomized workload in tests and benchmarks draws from Rng seeded
+// explicitly, so all experiments are exactly reproducible run-to-run.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace sparts {
+
+/// Small, fast, splittable PRNG (xoshiro256**).  Not cryptographic.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5eed5eed5eed5eedULL);
+
+  /// Uniform in [0, 2^64).
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, n).  n must be > 0.
+  std::uint64_t next_below(std::uint64_t n);
+
+  /// Uniform real in [0, 1).
+  double next_double();
+
+  /// Uniform real in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Standard normal via Box-Muller.
+  double normal();
+
+  /// An independent generator split off from this one.
+  Rng split();
+
+  /// Fisher-Yates shuffle of v.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(next_below(i));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace sparts

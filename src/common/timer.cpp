@@ -1,0 +1,14 @@
+#include "common/timer.hpp"
+
+namespace sparts {
+
+WallTimer::WallTimer() : start_(std::chrono::steady_clock::now()) {}
+
+void WallTimer::reset() { start_ = std::chrono::steady_clock::now(); }
+
+double WallTimer::seconds() const {
+  const auto now = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(now - start_).count();
+}
+
+}  // namespace sparts

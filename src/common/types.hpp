@@ -1,0 +1,21 @@
+// Fundamental scalar and index types used throughout SPARTS.
+//
+// All sparse-matrix indices are 64-bit: the structures produced by
+// factorization (nnz(L), operation counts) routinely exceed 2^31 for the
+// 3-D problems the paper evaluates.
+#pragma once
+
+#include <cstdint>
+
+namespace sparts {
+
+/// Row/column index into a sparse or dense matrix.
+using index_t = std::int64_t;
+
+/// Count of nonzeros / offsets into nonzero arrays.
+using nnz_t = std::int64_t;
+
+/// Floating-point scalar.  The paper's experiments are double precision.
+using real_t = double;
+
+}  // namespace sparts

@@ -1,0 +1,46 @@
+#include "dense/cholesky.hpp"
+
+#include "dense/kernels.hpp"
+
+namespace sparts::dense {
+
+Matrix cholesky(const Matrix& a) {
+  SPARTS_CHECK(a.rows() == a.cols(), "cholesky needs a square matrix");
+  const index_t n = a.rows();
+  Matrix l = a;
+  if (n > 0) {
+    panel_cholesky(n, n, l.col(0), n);
+  }
+  // Zero the strictly-upper part (panel_cholesky leaves A's values there).
+  for (index_t j = 1; j < n; ++j) {
+    for (index_t i = 0; i < j; ++i) l(i, j) = 0.0;
+  }
+  return l;
+}
+
+Matrix solve_lower(const Matrix& l, const Matrix& b) {
+  Matrix x = b;
+  trsm_lower_left(l, x, /*transpose_l=*/false);
+  return x;
+}
+
+Matrix solve_lower_transposed(const Matrix& l, const Matrix& b) {
+  Matrix x = b;
+  trsm_lower_left(l, x, /*transpose_l=*/true);
+  return x;
+}
+
+Matrix solve_spd(const Matrix& a, const Matrix& b) {
+  const Matrix l = cholesky(a);
+  return solve_lower_transposed(l, solve_lower(l, b));
+}
+
+nnz_t cholesky_flops(index_t n) {
+  return static_cast<nnz_t>(n) * n * n / 3;
+}
+
+nnz_t trisolve_flops(index_t n, index_t m) {
+  return static_cast<nnz_t>(n) * n * m;
+}
+
+}  // namespace sparts::dense

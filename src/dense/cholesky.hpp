@@ -1,0 +1,32 @@
+// Dense Cholesky factorization and dense triangular solves.
+//
+// These serve as the reference implementation against which the sparse
+// factorization is tested, and as the computational model for the dense
+// solver scalability comparison of paper §3.3.
+#pragma once
+
+#include "common/types.hpp"
+#include "dense/matrix.hpp"
+
+namespace sparts::dense {
+
+/// Factor SPD matrix A = L * L^T.  Returns L (lower triangular, upper part
+/// zeroed).  Throws NumericalError if A is not positive definite.
+Matrix cholesky(const Matrix& a);
+
+/// Solve L * X = B for lower-triangular L.  Returns X.
+Matrix solve_lower(const Matrix& l, const Matrix& b);
+
+/// Solve L^T * X = B for lower-triangular L.  Returns X.
+Matrix solve_lower_transposed(const Matrix& l, const Matrix& b);
+
+/// Full SPD solve A * X = B via Cholesky.  Returns X.
+Matrix solve_spd(const Matrix& a, const Matrix& b);
+
+/// Exact flop count of an n x n dense Cholesky (n^3/3 + lower order).
+nnz_t cholesky_flops(index_t n);
+
+/// Exact flop count of a dense triangular solve with m right-hand sides.
+nnz_t trisolve_flops(index_t n, index_t m);
+
+}  // namespace sparts::dense

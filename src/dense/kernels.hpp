@@ -1,0 +1,91 @@
+// Dense BLAS-style kernels written against raw column-major panels.
+//
+// Two interfaces are provided:
+//   * Matrix-level convenience wrappers (gemm, trsm, syrk, gemv) used by
+//     tests and small call sites.
+//   * Raw-pointer panel kernels (panel_*) operating on column-major blocks
+//     with an explicit leading dimension, used by the supernodal solvers and
+//     the multifrontal factorization where supernodes are sub-panels of a
+//     larger allocation.
+//
+// All kernels also report the exact flop count they performed so the
+// simulator's cost model can charge for them.
+#pragma once
+
+#include "common/types.hpp"
+#include "dense/matrix.hpp"
+
+namespace sparts::dense {
+
+// ---------------------------------------------------------------------------
+// Matrix-level wrappers.
+// ---------------------------------------------------------------------------
+
+/// C += alpha * A(^T) * B(^T).  Shapes are checked.
+void gemm(real_t alpha, const Matrix& a, bool transpose_a, const Matrix& b,
+          bool transpose_b, Matrix& c);
+
+/// y += alpha * A * x  (x, y are n-vectors stored as k x 1 matrices or spans).
+void gemv(real_t alpha, const Matrix& a, std::span<const real_t> x,
+          std::span<real_t> y);
+
+/// Solve op(L) * X = B in place of B, where L is lower triangular
+/// (unit_diag selects implicit unit diagonal).
+void trsm_lower_left(const Matrix& l, Matrix& b, bool transpose_l = false,
+                     bool unit_diag = false);
+
+/// Solve U * X = B in place of B, where U is upper triangular.
+void trsm_upper_left(const Matrix& u, Matrix& b);
+
+/// C -= A * A^T restricted to the lower triangle of C (Cholesky update).
+void syrk_lower(const Matrix& a, Matrix& c);
+
+// ---------------------------------------------------------------------------
+// Raw column-major panel kernels.  `ld*` are leading dimensions.
+// ---------------------------------------------------------------------------
+
+/// Flop count of a (m x k) * (k x n) multiply-accumulate.
+inline nnz_t gemm_flops(index_t m, index_t n, index_t k) {
+  return 2 * static_cast<nnz_t>(m) * n * k;
+}
+
+/// C(mxn) += alpha * A(mxk) * B(kxn).
+void panel_gemm(index_t m, index_t n, index_t k, real_t alpha, const real_t* a,
+                index_t lda, const real_t* b, index_t ldb, real_t* c,
+                index_t ldc);
+
+/// C(mxn) += alpha * A^T(kxm as m of k) * B(kxn); A is stored k x m.
+void panel_gemm_at(index_t m, index_t n, index_t k, real_t alpha,
+                   const real_t* a, index_t lda, const real_t* b, index_t ldb,
+                   real_t* c, index_t ldc);
+
+/// In-place solve L(txt lower, column-major, lda) X = B (t x n, ldb).
+/// Returns flop count.
+nnz_t panel_trsm_lower(index_t t, index_t n, const real_t* l, index_t ldl,
+                       real_t* b, index_t ldb);
+
+/// In-place solve L^T(txt) X = B (t x n, ldb) where L is lower triangular.
+/// Returns flop count.  Used by backward substitution with L^T = U.
+nnz_t panel_trsm_lower_transposed(index_t t, index_t n, const real_t* l,
+                                  index_t ldl, real_t* b, index_t ldb);
+
+/// In-place X := X * L^{-T} where X is (m x k, ldx) and L is k x k lower
+/// triangular (ldl).  This is the row-panel solve of blocked right-looking
+/// Cholesky: L21 = A21 * L11^{-T}.  Returns flop count.
+nnz_t panel_trsm_right_lt(index_t m, index_t k, const real_t* l, index_t ldl,
+                          real_t* x, index_t ldx);
+
+/// Dense Cholesky of the leading t x t lower triangle of a column-major
+/// panel (in place), then apply to the remaining (m - t) rows:
+///   A21 <- A21 * L11^{-T}.  Panel is m x t.  Returns flop count.
+/// Throws NumericalError on a non-positive pivot.
+nnz_t panel_cholesky(index_t m, index_t t, real_t* a, index_t lda);
+
+/// C(mxn, lower triangle when square) -= A(mxk) * A(nxk)^T.
+/// Used for the Schur complement update of a frontal matrix; only entries
+/// with row >= col are updated when `lower_only`.
+void panel_syrk(index_t m, index_t n, index_t k, const real_t* a, index_t lda,
+                const real_t* a2, index_t lda2, real_t* c, index_t ldc,
+                bool lower_only);
+
+}  // namespace sparts::dense

@@ -1,0 +1,77 @@
+#include "dense/matrix.hpp"
+
+#include <cmath>
+
+namespace sparts::dense {
+
+Matrix Matrix::from_rows(
+    std::initializer_list<std::initializer_list<real_t>> rows) {
+  const index_t m = static_cast<index_t>(rows.size());
+  const index_t n = m > 0 ? static_cast<index_t>(rows.begin()->size()) : 0;
+  Matrix a(m, n);
+  index_t i = 0;
+  for (const auto& row : rows) {
+    SPARTS_CHECK(static_cast<index_t>(row.size()) == n,
+                 "ragged initializer list");
+    index_t j = 0;
+    for (real_t v : row) a(i, j++) = v;
+    ++i;
+  }
+  return a;
+}
+
+Matrix Matrix::identity(index_t n) {
+  Matrix a(n, n);
+  for (index_t i = 0; i < n; ++i) a(i, i) = 1.0;
+  return a;
+}
+
+void Matrix::fill(real_t v) {
+  for (auto& x : data_) x = v;
+}
+
+Matrix& Matrix::operator+=(const Matrix& other) {
+  SPARTS_CHECK(same_shape(other));
+  for (std::size_t k = 0; k < data_.size(); ++k) data_[k] += other.data_[k];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& other) {
+  SPARTS_CHECK(same_shape(other));
+  for (std::size_t k = 0; k < data_.size(); ++k) data_[k] -= other.data_[k];
+  return *this;
+}
+
+Matrix Matrix::transposed() const {
+  Matrix t(cols_, rows_);
+  for (index_t j = 0; j < cols_; ++j) {
+    for (index_t i = 0; i < rows_; ++i) t(j, i) = (*this)(i, j);
+  }
+  return t;
+}
+
+real_t Matrix::max_abs() const {
+  real_t m = 0.0;
+  for (real_t v : data_) m = std::max(m, std::abs(v));
+  return m;
+}
+
+real_t frobenius_distance(const Matrix& a, const Matrix& b) {
+  SPARTS_CHECK(a.same_shape(b));
+  real_t s = 0.0;
+  auto da = a.data();
+  auto db = b.data();
+  for (std::size_t k = 0; k < da.size(); ++k) {
+    const real_t d = da[k] - db[k];
+    s += d * d;
+  }
+  return std::sqrt(s);
+}
+
+real_t frobenius_norm(const Matrix& a) {
+  real_t s = 0.0;
+  for (real_t v : a.data()) s += v * v;
+  return std::sqrt(s);
+}
+
+}  // namespace sparts::dense

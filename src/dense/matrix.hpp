@@ -1,0 +1,94 @@
+// Column-major dense matrix.
+//
+// Supernodes of the sparse factor are stored as dense trapezoids; frontal
+// matrices in the multifrontal method are dense squares; right-hand sides
+// with NRHS > 1 are dense N x m blocks.  This class is the storage for all
+// of them.
+#pragma once
+
+#include <initializer_list>
+#include <span>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace sparts::dense {
+
+/// Column-major dense matrix of real_t.
+class Matrix {
+ public:
+  Matrix() = default;
+
+  /// rows x cols, zero-initialized.
+  Matrix(index_t rows, index_t cols)
+      : rows_(rows), cols_(cols),
+        data_(static_cast<std::size_t>(rows * cols), 0.0) {
+    SPARTS_CHECK(rows >= 0 && cols >= 0);
+  }
+
+  /// Construct from rows of an initializer list (row-major input for
+  /// readability in tests; storage stays column-major).
+  static Matrix from_rows(
+      std::initializer_list<std::initializer_list<real_t>> rows);
+
+  /// n x n identity.
+  static Matrix identity(index_t n);
+
+  index_t rows() const { return rows_; }
+  index_t cols() const { return cols_; }
+  bool empty() const { return rows_ == 0 || cols_ == 0; }
+
+  real_t& operator()(index_t i, index_t j) {
+    SPARTS_DCHECK(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+    return data_[static_cast<std::size_t>(j * rows_ + i)];
+  }
+  real_t operator()(index_t i, index_t j) const {
+    SPARTS_DCHECK(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+    return data_[static_cast<std::size_t>(j * rows_ + i)];
+  }
+
+  /// Pointer to the top of column j.
+  real_t* col(index_t j) {
+    SPARTS_DCHECK(j >= 0 && j < cols_);
+    return data_.data() + static_cast<std::size_t>(j * rows_);
+  }
+  const real_t* col(index_t j) const {
+    SPARTS_DCHECK(j >= 0 && j < cols_);
+    return data_.data() + static_cast<std::size_t>(j * rows_);
+  }
+
+  std::span<real_t> data() { return data_; }
+  std::span<const real_t> data() const { return data_; }
+
+  /// Set every entry to v.
+  void fill(real_t v);
+
+  /// this += other (same shape).
+  Matrix& operator+=(const Matrix& other);
+  /// this -= other (same shape).
+  Matrix& operator-=(const Matrix& other);
+
+  /// Transposed copy.
+  Matrix transposed() const;
+
+  /// max |a_ij|.
+  real_t max_abs() const;
+
+  bool same_shape(const Matrix& o) const {
+    return rows_ == o.rows_ && cols_ == o.cols_;
+  }
+
+ private:
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  std::vector<real_t> data_;
+};
+
+/// Frobenius norm of A - B.  Shapes must match.
+real_t frobenius_distance(const Matrix& a, const Matrix& b);
+
+/// Frobenius norm.
+real_t frobenius_norm(const Matrix& a);
+
+}  // namespace sparts::dense

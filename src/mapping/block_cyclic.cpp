@@ -1,0 +1,21 @@
+#include "mapping/block_cyclic.hpp"
+
+namespace sparts::mapping {
+
+BlockCyclic2d BlockCyclic2d::near_square(index_t q, index_t b) {
+  SPARTS_CHECK(q >= 1 && (q & (q - 1)) == 0,
+               "grid size must be a power of two");
+  index_t qr = 1, qc = 1;
+  bool grow_row = true;
+  while (qr * qc < q) {
+    if (grow_row) {
+      qr *= 2;
+    } else {
+      qc *= 2;
+    }
+    grow_row = !grow_row;
+  }
+  return BlockCyclic2d{b, qr, qc};
+}
+
+}  // namespace sparts::mapping

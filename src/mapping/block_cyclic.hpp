@@ -1,0 +1,86 @@
+// Block-cyclic distribution maps.
+//
+// 1-D: row (or column) i belongs to block I = i/b; block I is owned by
+// processor I mod q.  This is the distribution the paper proves necessary
+// for scalable pipelined triangular solves.
+//
+// 2-D: entry (i, j) belongs to block (I, J); block (I, J) is owned by grid
+// processor (I mod qr, J mod qc).  This is the factorization distribution
+// that must be converted before solving (paper §4).
+#pragma once
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace sparts::mapping {
+
+/// 1-D block-cyclic map of `n` indices over `q` processors with blocks of
+/// size `b`.
+struct BlockCyclic1d {
+  index_t b = 1;  ///< block size
+  index_t q = 1;  ///< number of processors
+
+  /// Owning processor (0..q-1) of index i.
+  index_t owner(index_t i) const { return (i / b) % q; }
+
+  /// Block index of i.
+  index_t block_of(index_t i) const { return i / b; }
+
+  /// Owning processor of block I.
+  index_t block_owner(index_t block) const { return block % q; }
+
+  /// Number of blocks covering n indices.
+  index_t num_blocks(index_t n) const { return (n + b - 1) / b; }
+
+  /// Number of indices in block I given the total count n.
+  index_t block_size(index_t block, index_t n) const {
+    const index_t lo = block * b;
+    SPARTS_DCHECK(lo < n);
+    return std::min(b, n - lo);
+  }
+
+  /// Number of indices owned by processor r out of n.
+  index_t local_count(index_t r, index_t n) const {
+    index_t count = 0;
+    for (index_t blk = r; blk < num_blocks(n); blk += q) {
+      count += block_size(blk, n);
+    }
+    return count;
+  }
+
+  /// Position of global index i within owner's local packed storage
+  /// (blocks concatenated in ascending order).
+  index_t local_index(index_t i, index_t n) const {
+    const index_t blk = block_of(i);
+    const index_t r = block_owner(blk);
+    index_t offset = 0;
+    for (index_t pb = r; pb < blk; pb += q) {
+      offset += block_size(pb, n);
+    }
+    return offset + (i - blk * b);
+  }
+};
+
+/// 2-D block-cyclic map over a qr x qc processor grid.
+struct BlockCyclic2d {
+  index_t b = 1;   ///< square block size
+  index_t qr = 1;  ///< grid rows
+  index_t qc = 1;  ///< grid columns
+
+  index_t nprocs() const { return qr * qc; }
+
+  /// Grid coordinates of the owner of entry (i, j).
+  index_t owner_row(index_t i) const { return (i / b) % qr; }
+  index_t owner_col(index_t j) const { return (j / b) % qc; }
+
+  /// Linearized owner (row-major over the grid).
+  index_t owner(index_t i, index_t j) const {
+    return owner_row(i) * qc + owner_col(j);
+  }
+
+  /// Choose a near-square grid for q processors (q a power of two):
+  /// qr >= qc, qr * qc = q.
+  static BlockCyclic2d near_square(index_t q, index_t b);
+};
+
+}  // namespace sparts::mapping

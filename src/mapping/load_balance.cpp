@@ -1,0 +1,55 @@
+#include "mapping/load_balance.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace sparts::mapping {
+
+LoadBalance analyze_load_balance(const symbolic::SupernodePartition& part,
+                                 const SubcubeMapping& map,
+                                 std::span<const double> work) {
+  const index_t nsup = part.num_supernodes();
+  SPARTS_CHECK(static_cast<index_t>(work.size()) == nsup);
+  LoadBalance lb;
+  lb.work_per_proc.assign(static_cast<std::size_t>(map.p), 0.0);
+  for (index_t s = 0; s < nsup; ++s) {
+    const simpar::Group& g = map.group[static_cast<std::size_t>(s)];
+    const double share =
+        work[static_cast<std::size_t>(s)] / static_cast<double>(g.count);
+    for (index_t r = 0; r < g.count; ++r) {
+      lb.work_per_proc[static_cast<std::size_t>(g.world(r))] += share;
+    }
+  }
+  lb.max_work =
+      *std::max_element(lb.work_per_proc.begin(), lb.work_per_proc.end());
+  lb.avg_work = std::accumulate(lb.work_per_proc.begin(),
+                                lb.work_per_proc.end(), 0.0) /
+                static_cast<double>(map.p);
+  return lb;
+}
+
+LevelProfile analyze_levels(const symbolic::SupernodePartition& part,
+                            const SubcubeMapping& map,
+                            std::span<const double> work) {
+  const index_t nsup = part.num_supernodes();
+  SPARTS_CHECK(static_cast<index_t>(work.size()) == nsup);
+  LevelProfile profile;
+  index_t max_level = 0;
+  for (index_t s = 0; s < nsup; ++s) {
+    if (map.is_parallel(s)) max_level = std::max(max_level, map.level(s));
+  }
+  profile.work_at_level.assign(static_cast<std::size_t>(max_level) + 1, 0.0);
+  for (index_t s = 0; s < nsup; ++s) {
+    if (map.is_parallel(s)) {
+      profile.work_at_level[static_cast<std::size_t>(map.level(s))] +=
+          work[static_cast<std::size_t>(s)];
+    } else {
+      profile.sequential_work += work[static_cast<std::size_t>(s)];
+    }
+  }
+  return profile;
+}
+
+}  // namespace sparts::mapping

@@ -1,0 +1,51 @@
+// Load-balance diagnostics for a subtree-to-subcube mapping.
+//
+// The paper (§3.1) declines to model load imbalance analytically but
+// reports empirically that its overhead "tends to saturate at 32 to 64
+// processors and does not continue to increase".  These helpers quantify
+// exactly that: how the work assigned to each processor (sequential
+// subtrees plus its share of the shared supernodes) spreads as p grows.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+#include "mapping/subtree_to_subcube.hpp"
+#include "symbolic/supernodes.hpp"
+
+namespace sparts::mapping {
+
+struct LoadBalance {
+  std::vector<double> work_per_proc;  ///< size p
+  double max_work = 0.0;
+  double avg_work = 0.0;
+
+  /// max/avg: 1.0 = perfect balance; the parallel-time penalty factor the
+  /// imbalance alone would cause.
+  double imbalance() const {
+    return avg_work > 0.0 ? max_work / avg_work : 1.0;
+  }
+};
+
+/// Distribute `work[s]` over the mapping: a sequential supernode's work
+/// goes to its owner; a shared supernode's work is split evenly across its
+/// group (the pipelined algorithms balance within a supernode by
+/// construction).
+LoadBalance analyze_load_balance(const symbolic::SupernodePartition& part,
+                                 const SubcubeMapping& map,
+                                 std::span<const double> work);
+
+/// Per-level statistics of the supernodal tree under a mapping: how much
+/// work sits at each parallel level l (shared by p/2^l processors) vs the
+/// sequential leaves.
+struct LevelProfile {
+  std::vector<double> work_at_level;  ///< index l = paper's level
+  double sequential_work = 0.0;       ///< below the parallel levels
+};
+
+LevelProfile analyze_levels(const symbolic::SupernodePartition& part,
+                            const SubcubeMapping& map,
+                            std::span<const double> work);
+
+}  // namespace sparts::mapping

@@ -1,0 +1,118 @@
+#include "model/model.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace sparts::model {
+
+double solve_work(GraphClass g, double n) {
+  switch (g) {
+    case GraphClass::two_dimensional:
+      return n * std::log2(std::max(2.0, n));
+    case GraphClass::three_dimensional:
+      return std::pow(n, 4.0 / 3.0);
+  }
+  return n;
+}
+
+std::array<double, 3> runtime_terms(GraphClass g, double n, double p) {
+  const double boundary = g == GraphClass::two_dimensional
+                              ? std::sqrt(n)
+                              : std::pow(n, 2.0 / 3.0);
+  return {solve_work(g, n) / p, boundary, p};
+}
+
+double runtime(GraphClass g, double n, double p,
+               const std::array<double, 3>& c) {
+  const auto terms = runtime_terms(g, n, p);
+  return c[0] * terms[0] + c[1] * terms[1] + c[2] * terms[2];
+}
+
+double overhead(GraphClass g, double n, double p,
+                const std::array<double, 3>& c) {
+  const double ts = c[0] * solve_work(g, n);
+  return p * runtime(g, n, p, c) - ts;
+}
+
+double isoefficiency_work(double p) { return p * p; }
+
+Fit fit_runtime_model(GraphClass g, std::span<const Sample> samples) {
+  SPARTS_CHECK(samples.size() >= 3, "need at least three samples to fit");
+  // Normal equations for the 3-parameter linear model.
+  double ata[3][3] = {};
+  double atb[3] = {};
+  double mean = 0.0;
+  for (const Sample& s : samples) {
+    const auto t = runtime_terms(g, s.n, s.p);
+    for (int i = 0; i < 3; ++i) {
+      for (int j = 0; j < 3; ++j) ata[i][j] += t[static_cast<std::size_t>(i)] * t[static_cast<std::size_t>(j)];
+      atb[i] += t[static_cast<std::size_t>(i)] * s.time;
+    }
+    mean += s.time;
+  }
+  mean /= static_cast<double>(samples.size());
+
+  // Solve the 3x3 system by Gaussian elimination with partial pivoting.
+  double m[3][4];
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) m[i][j] = ata[i][j];
+    m[i][3] = atb[i];
+  }
+  for (int k = 0; k < 3; ++k) {
+    int piv = k;
+    for (int i = k + 1; i < 3; ++i) {
+      if (std::abs(m[i][k]) > std::abs(m[piv][k])) piv = i;
+    }
+    for (int j = 0; j < 4; ++j) std::swap(m[k][j], m[piv][j]);
+    if (std::abs(m[k][k]) < 1e-300) {
+      m[k][k] = 1e-300;  // degenerate design; coefficients ~0
+    }
+    for (int i = k + 1; i < 3; ++i) {
+      const double f = m[i][k] / m[k][k];
+      for (int j = k; j < 4; ++j) m[i][j] -= f * m[k][j];
+    }
+  }
+  Fit fit;
+  for (int i = 2; i >= 0; --i) {
+    double s = m[i][3];
+    for (int j = i + 1; j < 3; ++j) s -= m[i][j] * fit.coeff[static_cast<std::size_t>(j)];
+    fit.coeff[static_cast<std::size_t>(i)] = s / m[i][i];
+  }
+
+  double ss_res = 0.0, ss_tot = 0.0;
+  for (const Sample& s : samples) {
+    const double pred = runtime(g, s.n, s.p, fit.coeff);
+    ss_res += (s.time - pred) * (s.time - pred);
+    ss_tot += (s.time - mean) * (s.time - mean);
+  }
+  fit.r_squared = ss_tot > 0.0 ? 1.0 - ss_res / ss_tot : 1.0;
+  return fit;
+}
+
+std::vector<Fig5Row> figure5_rows() {
+  // Transcribed from the paper's Figure 5; the strings are the asymptotic
+  // expressions the analysis derives.
+  return {
+      {"Dense", "1-D",
+       "O(p^2) + O(N p)", "O(p^3)",
+       "O(p^2) + O(N p)", "O(p^2)", "O(p^3)"},
+      {"Dense", "2-D",
+       "O(N p^{1/2})", "O(p^{3/2})",
+       "O(N p^{1/2})", "unscalable", "O(p^{3/2})"},
+      {"Sparse (2-D graphs)", "1-D subtree-subcube",
+       "O(N p)", "O(p^3)",
+       "O(p^2) + O(N^{1/2} p)", "O(p^2)", "O(p^3)"},
+      {"Sparse (2-D graphs)", "2-D subtree-subcube",
+       "O(N p^{1/2})", "O(p^{3/2})",
+       "O(N p^{1/2})", "unscalable", "O(p^{3/2})"},
+      {"Sparse (3-D graphs)", "1-D subtree-subcube",
+       "O(N^{4/3} p)", "O(p^3)",
+       "O(p^2) + O(N^{2/3} p)", "O(p^2)", "O(p^3)"},
+      {"Sparse (3-D graphs)", "2-D subtree-subcube",
+       "O(N^{4/3} p^{1/2})", "O(p^{3/2})",
+       "O(N^{4/3} p^{1/2})", "unscalable", "O(p^{3/2})"},
+  };
+}
+
+}  // namespace sparts::model

@@ -1,0 +1,85 @@
+// Analytical performance models from the paper's §3 and Appendix A.
+//
+// Runtime models (Eqs. 1 and 2, single RHS; multiply by m for m RHS):
+//   2-D neighborhood graphs: T_P = c_w N log N / p + c_n sqrt(N) + c_p p
+//   3-D neighborhood graphs: T_P = c_w N^{4/3} / p + c_n N^{2/3} + c_p p
+//
+// Overhead function T_o = p T_P - T_S and the isoefficiency functions
+// derived from W ~ T_o (Appendix A): O(p^2) for both problem classes, the
+// same as a dense triangular solver — the paper's optimality argument.
+//
+// fit_runtime_model() recovers the constants from simulator measurements
+// by linear least squares, letting the benchmarks report model-vs-measured
+// agreement (R^2).
+#pragma once
+
+#include <array>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace sparts::model {
+
+/// Problem class of the coefficient matrix's graph.
+enum class GraphClass {
+  two_dimensional,    ///< planar / 2-D neighborhood graphs
+  three_dimensional,  ///< 3-D neighborhood graphs
+};
+
+/// Serial triangular-solve work for a problem of N unknowns (asymptotic,
+/// up to a constant): N log N for 2-D, N^{4/3} for 3-D.
+double solve_work(GraphClass g, double n);
+
+/// The three model terms (work/p, boundary, pipeline) evaluated at (N, p).
+std::array<double, 3> runtime_terms(GraphClass g, double n, double p);
+
+/// Model runtime given coefficients c = {c_w, c_n, c_p}.
+double runtime(GraphClass g, double n, double p,
+               const std::array<double, 3>& c);
+
+/// Overhead function T_o(N, p) = p * T_P - T_S under the model.
+double overhead(GraphClass g, double n, double p,
+                const std::array<double, 3>& c);
+
+/// Isoefficiency: the problem size W needed at p processors to hold the
+/// efficiency achieved at (n_ref, p_ref).  The paper proves W ~ p^2 for
+/// both graph classes; this evaluates the concrete model.
+double isoefficiency_work(double p);
+
+/// One measured sample for model fitting.
+struct Sample {
+  double n = 0;     ///< unknowns
+  double p = 1;     ///< processors
+  double time = 0;  ///< measured parallel time (seconds)
+};
+
+struct Fit {
+  std::array<double, 3> coeff{};  ///< {c_w, c_n, c_p}
+  double r_squared = 0.0;
+};
+
+/// Least-squares fit of the three-term model to measurements.
+Fit fit_runtime_model(GraphClass g, std::span<const Sample> samples);
+
+// ---------------------------------------------------------------------------
+// Figure 5: the paper's table of communication overheads and isoefficiency
+// functions for factorization and triangular solution under 1-D and 2-D
+// partitionings.
+// ---------------------------------------------------------------------------
+
+struct Fig5Row {
+  std::string matrix_type;    ///< "Dense", "Sparse (2-D graphs)", ...
+  std::string partitioning;   ///< "1-D", "2-D (subtree-subcube)", ...
+  std::string fact_overhead;  ///< communication overhead of factorization
+  std::string fact_iso;       ///< isoefficiency of factorization
+  std::string solve_overhead; ///< communication overhead of fw/bw solve
+  std::string solve_iso;      ///< isoefficiency of the solver
+  std::string overall_iso;    ///< isoefficiency of the combination
+};
+
+/// The nine rows of the paper's Figure 5, generated programmatically.
+std::vector<Fig5Row> figure5_rows();
+
+}  // namespace sparts::model

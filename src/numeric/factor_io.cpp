@@ -1,0 +1,121 @@
+#include "numeric/factor_io.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace sparts::numeric {
+
+namespace {
+
+constexpr char kMagic[8] = {'S', 'P', 'T', 'S', 'F', 'C', 'T', '1'};
+
+template <typename T>
+void put(std::ostream& out, const T& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  out.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+void put_vec(std::ostream& out, const std::vector<T>& v) {
+  put(out, static_cast<index_t>(v.size()));
+  out.write(reinterpret_cast<const char*>(v.data()),
+            static_cast<std::streamsize>(v.size() * sizeof(T)));
+}
+
+template <typename T>
+T get(std::istream& in) {
+  T v{};
+  in.read(reinterpret_cast<char*>(&v), sizeof(T));
+  if (!in) throw IoError("truncated factor file");
+  return v;
+}
+
+template <typename T>
+std::vector<T> get_vec(std::istream& in) {
+  const index_t count = get<index_t>(in);
+  SPARTS_CHECK(count >= 0 && count < (index_t{1} << 40),
+               "implausible array length in factor file");
+  std::vector<T> v(static_cast<std::size_t>(count));
+  in.read(reinterpret_cast<char*>(v.data()),
+          static_cast<std::streamsize>(v.size() * sizeof(T)));
+  if (!in) throw IoError("truncated factor file");
+  return v;
+}
+
+}  // namespace
+
+void write_factor(const SupernodalFactor& factor, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw IoError("cannot open " + path + " for writing");
+  write_factor(factor, out);
+  if (!out) throw IoError("write failure on " + path);
+}
+
+void write_factor(const SupernodalFactor& factor, std::ostream& out) {
+  out.write(kMagic, sizeof(kMagic));
+  const auto& p = factor.partition();
+  put_vec(out, p.first_col);
+  put_vec(out, p.rowptr);
+  put_vec(out, p.rows);
+  put_vec(out, p.stree.parent);
+  // Values, supernode by supernode.
+  put(out, factor.num_supernodes());
+  for (index_t s = 0; s < factor.num_supernodes(); ++s) {
+    auto block = factor.block(s);
+    put(out, static_cast<index_t>(block.size()));
+    out.write(reinterpret_cast<const char*>(block.data()),
+              static_cast<std::streamsize>(block.size() * sizeof(real_t)));
+  }
+  if (!out) throw IoError("write failure in write_factor");
+}
+
+SupernodalFactor read_factor(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw IoError("cannot open " + path);
+  return read_factor(in);
+}
+
+SupernodalFactor read_factor(std::istream& in) {
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    throw IoError("not a SPARTS factor file (bad magic)");
+  }
+  symbolic::SupernodePartition part;
+  part.first_col = get_vec<index_t>(in);
+  part.rowptr = get_vec<nnz_t>(in);
+  part.rows = get_vec<index_t>(in);
+  part.stree.parent = get_vec<index_t>(in);
+  SPARTS_CHECK(!part.first_col.empty(), "empty partition in factor file");
+  // Rebuild sup_of_col from first_col.
+  const index_t n = part.first_col.back();
+  const index_t nsup = static_cast<index_t>(part.first_col.size()) - 1;
+  part.sup_of_col.assign(static_cast<std::size_t>(n), 0);
+  for (index_t s = 0; s < nsup; ++s) {
+    for (index_t j = part.first_col[static_cast<std::size_t>(s)];
+         j < part.first_col[static_cast<std::size_t>(s) + 1]; ++j) {
+      part.sup_of_col[static_cast<std::size_t>(j)] = s;
+    }
+  }
+  part.check_consistent();  // throws on any structural corruption
+
+  SupernodalFactor factor(std::move(part));
+  const index_t stored = get<index_t>(in);
+  SPARTS_CHECK(stored == factor.num_supernodes(),
+               "supernode count mismatch in factor file");
+  for (index_t s = 0; s < factor.num_supernodes(); ++s) {
+    const index_t len = get<index_t>(in);
+    auto block = factor.block(s);
+    SPARTS_CHECK(len == static_cast<index_t>(block.size()),
+                 "block size mismatch at supernode " << s);
+    in.read(reinterpret_cast<char*>(block.data()),
+            static_cast<std::streamsize>(block.size() * sizeof(real_t)));
+    if (!in) throw IoError("truncated factor file (values)");
+  }
+  return factor;
+}
+
+}  // namespace sparts::numeric

@@ -1,0 +1,25 @@
+// Binary serialization of the supernodal factor: factor once, solve many
+// times across runs (the paper's amortization argument, taken to disk).
+//
+// Format (little-endian, versioned): magic "SPTSFCT1", then the supernode
+// partition (first_col, rowptr, rows, stree parents) followed by the raw
+// trapezoid values.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "numeric/supernodal_factor.hpp"
+
+namespace sparts::numeric {
+
+/// Write the factor to `path`.  Throws IoError on failure.
+void write_factor(const SupernodalFactor& factor, const std::string& path);
+void write_factor(const SupernodalFactor& factor, std::ostream& out);
+
+/// Read a factor previously written by write_factor.  Validates the
+/// header and every structural invariant.  Throws IoError on mismatch.
+SupernodalFactor read_factor(const std::string& path);
+SupernodalFactor read_factor(std::istream& in);
+
+}  // namespace sparts::numeric

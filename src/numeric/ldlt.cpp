@@ -1,0 +1,122 @@
+#include "numeric/ldlt.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace sparts::numeric {
+
+real_t LdltFactor::l_at(index_t i, index_t j) const {
+  SPARTS_CHECK(i >= j);
+  if (i == j) return 1.0;
+  auto rows = symbolic->col_rows(j);
+  auto it = std::lower_bound(rows.begin(), rows.end(), i);
+  if (it == rows.end() || *it != i) return 0.0;
+  const nnz_t p =
+      symbolic->colptr[static_cast<std::size_t>(j)] + (it - rows.begin());
+  return values[static_cast<std::size_t>(p)];
+}
+
+LdltFactor simplicial_ldlt(const sparse::SymmetricCsc& a,
+                           const symbolic::SymbolicFactor& sym) {
+  const index_t n = a.n();
+  SPARTS_CHECK(sym.n == n, "symbolic structure size mismatch");
+  LdltFactor f;
+  f.symbolic = &sym;
+  f.values.assign(static_cast<std::size_t>(sym.nnz()), 0.0);
+
+  std::vector<real_t> work(static_cast<std::size_t>(n), 0.0);
+  std::vector<index_t> link(static_cast<std::size_t>(n), -1);
+  std::vector<index_t> next_in_col(static_cast<std::size_t>(n), 0);
+  std::vector<index_t> chain(static_cast<std::size_t>(n), -1);
+
+  for (index_t j = 0; j < n; ++j) {
+    for (std::size_t p = 0; p < a.col_rows(j).size(); ++p) {
+      work[static_cast<std::size_t>(a.col_rows(j)[p])] = a.col_values(j)[p];
+    }
+
+    // Apply updates from every column k with L(j, k) != 0:
+    // work(i) -= L(i, k) * d_k * L(j, k).
+    index_t k = link[static_cast<std::size_t>(j)];
+    link[static_cast<std::size_t>(j)] = -1;
+    while (k != -1) {
+      const index_t knext = chain[static_cast<std::size_t>(k)];
+      auto krows = sym.col_rows(k);
+      const nnz_t kbase = sym.colptr[static_cast<std::size_t>(k)];
+      const index_t pos = next_in_col[static_cast<std::size_t>(k)];
+      const real_t dk = f.values[static_cast<std::size_t>(kbase)];
+      const real_t ljk_dk =
+          f.values[static_cast<std::size_t>(kbase + pos)] * dk;
+      for (index_t q = pos; q < static_cast<index_t>(krows.size()); ++q) {
+        work[static_cast<std::size_t>(krows[static_cast<std::size_t>(q)])] -=
+            f.values[static_cast<std::size_t>(kbase + q)] * ljk_dk;
+      }
+      if (pos + 1 < static_cast<index_t>(krows.size())) {
+        next_in_col[static_cast<std::size_t>(k)] = pos + 1;
+        const index_t row = krows[static_cast<std::size_t>(pos + 1)];
+        chain[static_cast<std::size_t>(k)] =
+            link[static_cast<std::size_t>(row)];
+        link[static_cast<std::size_t>(row)] = k;
+      }
+      k = knext;
+    }
+
+    const real_t dj = work[static_cast<std::size_t>(j)];
+    if (dj == 0.0 || !std::isfinite(dj)) {
+      throw NumericalError("simplicial_ldlt: zero pivot at column " +
+                           std::to_string(j) + " (no pivoting available)");
+    }
+    auto jrows = sym.col_rows(j);
+    const nnz_t jbase = sym.colptr[static_cast<std::size_t>(j)];
+    f.values[static_cast<std::size_t>(jbase)] = dj;
+    work[static_cast<std::size_t>(j)] = 0.0;
+    for (index_t q = 1; q < static_cast<index_t>(jrows.size()); ++q) {
+      const index_t i = jrows[static_cast<std::size_t>(q)];
+      f.values[static_cast<std::size_t>(jbase + q)] =
+          work[static_cast<std::size_t>(i)] / dj;
+      work[static_cast<std::size_t>(i)] = 0.0;
+    }
+    if (jrows.size() > 1) {
+      next_in_col[static_cast<std::size_t>(j)] = 1;
+      const index_t row = jrows[1];
+      chain[static_cast<std::size_t>(j)] = link[static_cast<std::size_t>(row)];
+      link[static_cast<std::size_t>(row)] = j;
+    }
+  }
+  return f;
+}
+
+void ldlt_solve(const LdltFactor& f, real_t* b, index_t m) {
+  const symbolic::SymbolicFactor& sym = *f.symbolic;
+  const index_t n = sym.n;
+  for (index_t c = 0; c < m; ++c) {
+    real_t* x = b + c * n;
+    // Forward: L y = b (unit diagonal).
+    for (index_t j = 0; j < n; ++j) {
+      auto rows = sym.col_rows(j);
+      const nnz_t base = sym.colptr[static_cast<std::size_t>(j)];
+      const real_t xj = x[j];
+      for (std::size_t q = 1; q < rows.size(); ++q) {
+        x[rows[q]] -= f.values[static_cast<std::size_t>(base + q)] * xj;
+      }
+    }
+    // Diagonal: z = D^{-1} y.
+    for (index_t j = 0; j < n; ++j) {
+      x[j] /= f.values[static_cast<std::size_t>(
+          sym.colptr[static_cast<std::size_t>(j)])];
+    }
+    // Backward: L^T x = z (unit diagonal).
+    for (index_t j = n - 1; j >= 0; --j) {
+      auto rows = sym.col_rows(j);
+      const nnz_t base = sym.colptr[static_cast<std::size_t>(j)];
+      real_t s = x[j];
+      for (std::size_t q = 1; q < rows.size(); ++q) {
+        s -= f.values[static_cast<std::size_t>(base + q)] * x[rows[q]];
+      }
+      x[j] = s;
+    }
+  }
+}
+
+}  // namespace sparts::numeric

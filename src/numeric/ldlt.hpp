@@ -1,0 +1,46 @@
+// L D L^T factorization without pivoting.
+//
+// For symmetric matrices that are strongly diagonally dominant (or quasi-
+// definite) but not positive definite, Cholesky fails on negative pivots
+// while L D L^T with unit-lower-triangular L and (possibly negative)
+// diagonal D succeeds without pivoting.  The nonzero structure is the same
+// as the Cholesky factor's, so all symbolic machinery is shared.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "sparse/formats.hpp"
+#include "symbolic/symbolic.hpp"
+
+namespace sparts::numeric {
+
+/// Sparse unit-lower-triangular L and diagonal D over a fixed symbolic
+/// structure.  The diagonal slot of each column stores D(j); the implied
+/// L(j, j) is 1.
+struct LdltFactor {
+  const symbolic::SymbolicFactor* symbolic = nullptr;
+  std::vector<real_t> values;  ///< aligned with symbolic->rowind
+
+  index_t n() const { return symbolic->n; }
+
+  /// D(j).
+  real_t d(index_t j) const {
+    return values[static_cast<std::size_t>(
+        symbolic->colptr[static_cast<std::size_t>(j)])];
+  }
+
+  /// L(i, j) for i > j; zero outside the structure; 1 for i == j.
+  real_t l_at(index_t i, index_t j) const;
+};
+
+/// Left-looking simplicial L D L^T.  Throws NumericalError on an exactly
+/// zero pivot (the factorization does not pivot).
+LdltFactor simplicial_ldlt(const sparse::SymmetricCsc& a,
+                           const symbolic::SymbolicFactor& sym);
+
+/// Solve A X = B in place via L y = b; z = D^{-1} y; L^T x = z.
+/// `b` is n x m column-major with ld = n.
+void ldlt_solve(const LdltFactor& f, real_t* b, index_t m);
+
+}  // namespace sparts::numeric

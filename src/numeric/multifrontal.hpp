@@ -1,0 +1,39 @@
+// Sequential supernodal multifrontal Cholesky factorization (Liu, "The
+// multifrontal method for sparse matrix solution").
+//
+// The factorization walks the supernodal elimination tree in postorder.
+// Each supernode assembles a dense frontal matrix from the original matrix
+// entries of its pivot columns plus the update matrices of its children
+// (extend-add), performs a dense partial Cholesky of the pivot block, and
+// passes the Schur complement up as its own update matrix.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "numeric/supernodal_factor.hpp"
+#include "sparse/formats.hpp"
+#include "symbolic/supernodes.hpp"
+#include "symbolic/symbolic.hpp"
+
+namespace sparts::numeric {
+
+/// Statistics of a factorization run.
+struct FactorizationStats {
+  nnz_t flops = 0;              ///< floating point operations performed
+  nnz_t peak_front_entries = 0; ///< largest single frontal matrix
+  nnz_t peak_stack_entries = 0; ///< high-water mark of the update stack
+};
+
+/// Factor A (SPD, lower storage) over the given supernode partition.
+/// The partition must describe the symbolic factor of A (possibly
+/// amalgamated).  Throws NumericalError for non-SPD input.
+SupernodalFactor multifrontal_cholesky(const sparse::SymmetricCsc& a,
+                                       const symbolic::SupernodePartition& p,
+                                       FactorizationStats* stats = nullptr);
+
+/// Convenience: symbolic analysis + fundamental supernodes + factorization.
+SupernodalFactor multifrontal_cholesky(const sparse::SymmetricCsc& a,
+                                       FactorizationStats* stats = nullptr);
+
+}  // namespace sparts::numeric

@@ -1,0 +1,37 @@
+// Simplicial (column-by-column) sparse Cholesky — the reference
+// implementation used to validate the multifrontal factorization and the
+// triangular solvers.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "sparse/formats.hpp"
+#include "symbolic/symbolic.hpp"
+
+namespace sparts::numeric {
+
+/// Sparse lower-triangular factor in CSC form over a fixed symbolic
+/// structure.
+struct CscFactor {
+  const symbolic::SymbolicFactor* symbolic = nullptr;
+  std::vector<real_t> values;  ///< aligned with symbolic->rowind
+
+  index_t n() const { return symbolic->n; }
+
+  /// L(i, j); zero outside the structure.
+  real_t at(index_t i, index_t j) const;
+};
+
+/// Left-looking simplicial Cholesky over the given symbolic structure.
+/// Throws NumericalError for non-SPD input.
+CscFactor simplicial_cholesky(const sparse::SymmetricCsc& a,
+                              const symbolic::SymbolicFactor& sym);
+
+/// Solve L y = b in place (b is n x m column-major, ld = n).
+void csc_forward_solve(const CscFactor& l, real_t* b, index_t m);
+
+/// Solve L^T x = y in place.
+void csc_backward_solve(const CscFactor& l, real_t* b, index_t m);
+
+}  // namespace sparts::numeric

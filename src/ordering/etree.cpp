@@ -1,0 +1,189 @@
+#include "ordering/etree.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace sparts::ordering {
+
+EliminationTree elimination_tree(const sparse::SymmetricCsc& a) {
+  const index_t n = a.n();
+  EliminationTree t;
+  t.parent.assign(static_cast<std::size_t>(n), -1);
+  // ancestor[] implements path compression over partially built trees.
+  std::vector<index_t> ancestor(static_cast<std::size_t>(n), -1);
+  // Liu's algorithm must visit rows k in ascending order, and for each k
+  // every i < k with A(k, i) != 0.  Our storage is lower CSC, so first
+  // build the row-wise adjacency of the strict lower triangle.
+  std::vector<nnz_t> rowptr(static_cast<std::size_t>(n) + 1, 0);
+  for (index_t i = 0; i < n; ++i) {
+    auto rows = a.col_rows(i);
+    for (std::size_t p = 1; p < rows.size(); ++p) {
+      ++rowptr[static_cast<std::size_t>(rows[p]) + 1];
+    }
+  }
+  for (index_t k = 0; k < n; ++k) {
+    rowptr[static_cast<std::size_t>(k) + 1] += rowptr[static_cast<std::size_t>(k)];
+  }
+  std::vector<index_t> colind(static_cast<std::size_t>(rowptr.back()));
+  {
+    std::vector<nnz_t> next(rowptr.begin(), rowptr.end() - 1);
+    for (index_t i = 0; i < n; ++i) {
+      auto rows = a.col_rows(i);
+      for (std::size_t p = 1; p < rows.size(); ++p) {
+        colind[static_cast<std::size_t>(
+            next[static_cast<std::size_t>(rows[p])]++)] = i;
+      }
+    }
+  }
+
+  for (index_t k = 0; k < n; ++k) {
+    for (nnz_t p = rowptr[static_cast<std::size_t>(k)];
+         p < rowptr[static_cast<std::size_t>(k) + 1]; ++p) {
+      // Walk from i up the forest built so far, compressing paths to k,
+      // and attach the root under k.
+      index_t r = colind[static_cast<std::size_t>(p)];  // i < k
+      while (r != -1 && r != k) {
+        const index_t next_r = ancestor[static_cast<std::size_t>(r)];
+        ancestor[static_cast<std::size_t>(r)] = k;
+        if (next_r == -1) {
+          t.parent[static_cast<std::size_t>(r)] = k;
+          break;
+        }
+        r = next_r;
+      }
+    }
+  }
+  return t;
+}
+
+std::vector<std::vector<index_t>> tree_children(const EliminationTree& t) {
+  std::vector<std::vector<index_t>> children(
+      static_cast<std::size_t>(t.n()));
+  for (index_t v = 0; v < t.n(); ++v) {
+    const index_t p = t.parent[static_cast<std::size_t>(v)];
+    if (p != -1) {
+      SPARTS_CHECK(p >= 0 && p < t.n(), "bad parent pointer");
+      children[static_cast<std::size_t>(p)].push_back(v);
+    }
+  }
+  return children;
+}
+
+std::vector<index_t> postorder(const EliminationTree& t) {
+  const index_t n = t.n();
+  auto children = tree_children(t);
+  std::vector<index_t> order;
+  order.reserve(static_cast<std::size_t>(n));
+  std::vector<std::pair<index_t, std::size_t>> stack;  // (vertex, child idx)
+  for (index_t r = 0; r < n; ++r) {
+    if (t.parent[static_cast<std::size_t>(r)] != -1) continue;
+    stack.emplace_back(r, 0);
+    while (!stack.empty()) {
+      auto& [v, ci] = stack.back();
+      if (ci < children[static_cast<std::size_t>(v)].size()) {
+        const index_t c = children[static_cast<std::size_t>(v)][ci++];
+        stack.emplace_back(c, 0);
+      } else {
+        order.push_back(v);
+        stack.pop_back();
+      }
+    }
+  }
+  SPARTS_CHECK(static_cast<index_t>(order.size()) == n,
+               "tree has a cycle or dangling parent");
+  return order;
+}
+
+EliminationTree relabel_tree(const EliminationTree& t,
+                             std::span<const index_t> order) {
+  const index_t n = t.n();
+  SPARTS_CHECK(static_cast<index_t>(order.size()) == n);
+  std::vector<index_t> new_of_old(static_cast<std::size_t>(n));
+  for (index_t k = 0; k < n; ++k) {
+    new_of_old[static_cast<std::size_t>(order[static_cast<std::size_t>(k)])] =
+        k;
+  }
+  EliminationTree r;
+  r.parent.assign(static_cast<std::size_t>(n), -1);
+  for (index_t k = 0; k < n; ++k) {
+    const index_t old = order[static_cast<std::size_t>(k)];
+    const index_t op = t.parent[static_cast<std::size_t>(old)];
+    r.parent[static_cast<std::size_t>(k)] =
+        op == -1 ? -1 : new_of_old[static_cast<std::size_t>(op)];
+  }
+  return r;
+}
+
+std::vector<index_t> subtree_sizes(const EliminationTree& t) {
+  const index_t n = t.n();
+  std::vector<index_t> size(static_cast<std::size_t>(n), 1);
+  // Process in postorder so children are final before the parent.
+  for (index_t v : postorder(t)) {
+    const index_t p = t.parent[static_cast<std::size_t>(v)];
+    if (p != -1) {
+      size[static_cast<std::size_t>(p)] += size[static_cast<std::size_t>(v)];
+    }
+  }
+  return size;
+}
+
+std::vector<index_t> tree_levels(const EliminationTree& t) {
+  const index_t n = t.n();
+  std::vector<index_t> level(static_cast<std::size_t>(n), -1);
+  auto order = postorder(t);
+  // Roots first: walk in reverse postorder (parents before children).
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const index_t v = *it;
+    const index_t p = t.parent[static_cast<std::size_t>(v)];
+    level[static_cast<std::size_t>(v)] =
+        p == -1 ? 0 : level[static_cast<std::size_t>(p)] + 1;
+  }
+  return level;
+}
+
+index_t tree_height(const EliminationTree& t) {
+  if (t.n() == 0) return 0;
+  auto levels = tree_levels(t);
+  return 1 + *std::max_element(levels.begin(), levels.end());
+}
+
+bool is_postorder(const EliminationTree& t, std::span<const index_t> order) {
+  const index_t n = t.n();
+  if (static_cast<index_t>(order.size()) != n) return false;
+  std::vector<index_t> pos(static_cast<std::size_t>(n), -1);
+  for (index_t k = 0; k < n; ++k) {
+    const index_t v = order[static_cast<std::size_t>(k)];
+    if (v < 0 || v >= n || pos[static_cast<std::size_t>(v)] != -1) {
+      return false;
+    }
+    pos[static_cast<std::size_t>(v)] = k;
+  }
+  // Every vertex must come after all of its children; subtree contiguity
+  // follows for trees when combined with the child-before-parent property
+  // checked transitively.  We check the stronger property directly: the
+  // subtree of v occupies positions [pos(v)-size(v)+1, pos(v)].
+  auto size = subtree_sizes(t);
+  for (index_t v = 0; v < n; ++v) {
+    const index_t p = t.parent[static_cast<std::size_t>(v)];
+    if (p != -1 && pos[static_cast<std::size_t>(v)] >
+                       pos[static_cast<std::size_t>(p)]) {
+      return false;
+    }
+  }
+  std::vector<index_t> lo(static_cast<std::size_t>(n));
+  for (index_t v = 0; v < n; ++v) {
+    lo[static_cast<std::size_t>(v)] =
+        pos[static_cast<std::size_t>(v)] - size[static_cast<std::size_t>(v)] + 1;
+  }
+  for (index_t v = 0; v < n; ++v) {
+    const index_t p = t.parent[static_cast<std::size_t>(v)];
+    if (p == -1) continue;
+    if (lo[static_cast<std::size_t>(v)] < lo[static_cast<std::size_t>(p)]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace sparts::ordering

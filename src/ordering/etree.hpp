@@ -1,0 +1,56 @@
+// Elimination tree machinery (Liu, "The role of elimination trees in sparse
+// factorization").
+//
+// The elimination tree drives everything downstream: supernode detection,
+// the multifrontal traversal, subtree-to-subcube mapping, and both
+// triangular solvers.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+#include "sparse/formats.hpp"
+#include "sparse/permutation.hpp"
+
+namespace sparts::ordering {
+
+/// Elimination tree: parent[v] is v's parent, or -1 for roots.
+struct EliminationTree {
+  std::vector<index_t> parent;
+
+  index_t n() const { return static_cast<index_t>(parent.size()); }
+};
+
+/// Compute the elimination tree of the (lower-triangular) pattern of A
+/// using Liu's algorithm with path compression.  O(nnz * alpha).
+EliminationTree elimination_tree(const sparse::SymmetricCsc& a);
+
+/// Children lists of an elimination tree (children of v sorted ascending).
+std::vector<std::vector<index_t>> tree_children(const EliminationTree& t);
+
+/// A postorder permutation of the tree (children before parents;
+/// result[k] = vertex visited k-th).  Deterministic: children visited in
+/// ascending order.
+std::vector<index_t> postorder(const EliminationTree& t);
+
+/// Relabel the tree by a postorder: new tree where vertex `k` is
+/// `order[k]` of the old tree.  With a true postorder the result has
+/// parent[k] > k for all non-roots.
+EliminationTree relabel_tree(const EliminationTree& t,
+                             std::span<const index_t> order);
+
+/// Number of vertices in the subtree rooted at each vertex (inclusive).
+std::vector<index_t> subtree_sizes(const EliminationTree& t);
+
+/// Depth of each vertex below its root (roots have level 0).
+std::vector<index_t> tree_levels(const EliminationTree& t);
+
+/// Height of the tree: 1 + max level.  Zero for an empty tree.
+index_t tree_height(const EliminationTree& t);
+
+/// True if `order` is a valid postorder of `t` (every vertex appears after
+/// all vertices of its subtree).
+bool is_postorder(const EliminationTree& t, std::span<const index_t> order);
+
+}  // namespace sparts::ordering

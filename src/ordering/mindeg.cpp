@@ -1,0 +1,135 @@
+#include "ordering/mindeg.hpp"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace sparts::ordering {
+
+namespace {
+
+// Quotient-graph minimum degree.
+//
+// State per vertex v (while uneliminated):
+//   adj[v]   — uneliminated neighbors (variables)
+//   elts[v]  — adjacent elements (eliminated supervariables)
+// State per element e: vars[e] — its uneliminated boundary variables.
+//
+// Eliminating v forms a new element whose boundary is
+//   adj[v] ∪ (∪_{e ∈ elts[v]} vars[e]) \ {v},
+// and absorbs the elements of elts[v].
+class QuotientGraph {
+ public:
+  explicit QuotientGraph(const sparse::Graph& g)
+      : n_(g.n()),
+        adj_(static_cast<std::size_t>(n_)),
+        elts_(static_cast<std::size_t>(n_)),
+        vars_(static_cast<std::size_t>(n_)),
+        eliminated_(static_cast<std::size_t>(n_), false),
+        degree_(static_cast<std::size_t>(n_), 0) {
+    for (index_t v = 0; v < n_; ++v) {
+      auto nbrs = g.neighbors(v);
+      adj_[static_cast<std::size_t>(v)].assign(nbrs.begin(), nbrs.end());
+      degree_[static_cast<std::size_t>(v)] =
+          static_cast<index_t>(nbrs.size());
+      heap_.insert({degree_[static_cast<std::size_t>(v)], v});
+    }
+  }
+
+  /// Vertex of minimum current degree (ties by id).
+  index_t pop_min() {
+    SPARTS_CHECK(!heap_.empty());
+    const index_t v = heap_.begin()->second;
+    heap_.erase(heap_.begin());
+    return v;
+  }
+
+  bool empty() const { return heap_.empty(); }
+
+  /// Eliminate v; updates degrees of affected variables.
+  void eliminate(index_t v) {
+    eliminated_[static_cast<std::size_t>(v)] = true;
+
+    // Boundary of the new element (stored under v's id).
+    std::vector<index_t> boundary;
+    for (index_t u : adj_[static_cast<std::size_t>(v)]) {
+      if (!eliminated_[static_cast<std::size_t>(u)]) boundary.push_back(u);
+    }
+    for (index_t e : elts_[static_cast<std::size_t>(v)]) {
+      for (index_t u : vars_[static_cast<std::size_t>(e)]) {
+        if (u != v && !eliminated_[static_cast<std::size_t>(u)]) {
+          boundary.push_back(u);
+        }
+      }
+      vars_[static_cast<std::size_t>(e)].clear();  // absorbed
+    }
+    std::sort(boundary.begin(), boundary.end());
+    boundary.erase(std::unique(boundary.begin(), boundary.end()),
+                   boundary.end());
+    vars_[static_cast<std::size_t>(v)] = boundary;
+
+    // Update every boundary variable: remove v and absorbed elements from
+    // its lists, add the new element, recompute exterior degree.
+    for (index_t u : boundary) {
+      auto& ua = adj_[static_cast<std::size_t>(u)];
+      ua.erase(std::remove(ua.begin(), ua.end(), v), ua.end());
+      auto& ue = elts_[static_cast<std::size_t>(u)];
+      ue.erase(std::remove_if(ue.begin(), ue.end(),
+                              [this](index_t e) {
+                                return vars_[static_cast<std::size_t>(e)]
+                                    .empty();
+                              }),
+               ue.end());
+      ue.push_back(v);
+
+      // Exterior degree: |adj(u) \ eliminated| + |∪ vars(elements)| - dups.
+      std::vector<index_t> reach;
+      for (index_t w : ua) {
+        if (!eliminated_[static_cast<std::size_t>(w)]) reach.push_back(w);
+      }
+      for (index_t e : ue) {
+        for (index_t w : vars_[static_cast<std::size_t>(e)]) {
+          if (w != u) reach.push_back(w);
+        }
+      }
+      std::sort(reach.begin(), reach.end());
+      reach.erase(std::unique(reach.begin(), reach.end()), reach.end());
+      const index_t newdeg = static_cast<index_t>(reach.size());
+
+      heap_.erase({degree_[static_cast<std::size_t>(u)], u});
+      degree_[static_cast<std::size_t>(u)] = newdeg;
+      heap_.insert({newdeg, u});
+    }
+  }
+
+ private:
+  index_t n_;
+  std::vector<std::vector<index_t>> adj_;
+  std::vector<std::vector<index_t>> elts_;
+  std::vector<std::vector<index_t>> vars_;
+  std::vector<bool> eliminated_;
+  std::vector<index_t> degree_;
+  std::set<std::pair<index_t, index_t>> heap_;  // (degree, vertex)
+};
+
+}  // namespace
+
+sparse::Permutation minimum_degree(const sparse::Graph& g) {
+  QuotientGraph qg(g);
+  std::vector<index_t> order;
+  order.reserve(static_cast<std::size_t>(g.n()));
+  while (!qg.empty()) {
+    const index_t v = qg.pop_min();
+    order.push_back(v);
+    qg.eliminate(v);
+  }
+  return sparse::Permutation(std::move(order));
+}
+
+sparse::Permutation minimum_degree(const sparse::SymmetricCsc& a) {
+  return minimum_degree(sparse::Graph::from_symmetric(a));
+}
+
+}  // namespace sparts::ordering

@@ -1,0 +1,19 @@
+// Minimum-degree fill-reducing ordering via the quotient-graph (element
+// absorption) model, in the style of the MMD/AMD family.  Serves two roles:
+//   * baseline ordering in fill comparisons, and
+//   * leaf-subgraph ordering inside nested dissection.
+#pragma once
+
+#include "sparse/formats.hpp"
+#include "sparse/permutation.hpp"
+
+namespace sparts::ordering {
+
+/// Minimum exterior-degree ordering using a quotient graph.  Deterministic
+/// (ties broken by vertex id).
+sparse::Permutation minimum_degree(const sparse::Graph& g);
+
+/// Convenience overload over the matrix pattern.
+sparse::Permutation minimum_degree(const sparse::SymmetricCsc& a);
+
+}  // namespace sparts::ordering

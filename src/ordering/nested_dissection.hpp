@@ -1,0 +1,67 @@
+// Nested-dissection fill-reducing orderings.
+//
+// The paper's analysis assumes a nested-dissection ordering whose separator
+// sizes follow the planar / 3-D separator theorems (O(sqrt(N)) and
+// O(N^{2/3})) and whose elimination tree is nearly balanced — exactly what
+// these routines produce.
+//
+// Two flavors:
+//   * Geometric ND for regular grids: exact recursive coordinate
+//     bisection with cross-line separators.  Produces perfectly balanced
+//     trees; the workhorse for the scalability experiments.
+//   * General-graph ND: BFS-based vertex separators with boundary
+//     minimization, minimum-degree on small leaves.  Handles the
+//     unstructured workloads (jittered meshes, random SPD).
+#pragma once
+
+#include "sparse/formats.hpp"
+#include "sparse/permutation.hpp"
+
+namespace sparts::ordering {
+
+/// Options for general-graph nested dissection.
+struct NdOptions {
+  /// Subgraphs of at most this many vertices are ordered by minimum degree.
+  index_t leaf_size = 64;
+  /// Balance tolerance: each side of a bisection gets at least
+  /// (0.5 - balance_slack) of the vertices before separator extraction.
+  double balance_slack = 0.2;
+  /// Use the multilevel separator engine (ordering/multilevel.hpp) for
+  /// subgraphs larger than `multilevel_threshold`; smaller ones use the
+  /// single-level BFS heuristic directly.
+  bool multilevel = true;
+  index_t multilevel_threshold = 400;
+};
+
+/// Geometric nested dissection of a kx x ky grid (vertex v = y*kx + x).
+/// Separator-last ordering: vertices of the top-level separator are
+/// numbered last.
+sparse::Permutation nested_dissection_grid2d(index_t kx, index_t ky);
+
+/// Geometric nested dissection of a kx x ky x kz grid
+/// (v = (z*ky + y)*kx + x).
+sparse::Permutation nested_dissection_grid3d(index_t kx, index_t ky,
+                                             index_t kz);
+
+/// General-graph nested dissection.
+sparse::Permutation nested_dissection(const sparse::Graph& g,
+                                      const NdOptions& opts = {});
+
+/// Convenience overload over the matrix pattern.
+sparse::Permutation nested_dissection(const sparse::SymmetricCsc& a,
+                                      const NdOptions& opts = {});
+
+/// A vertex separator of g: vertices whose removal disconnects the rest
+/// into `left` and `right` with no edges between them.  Exposed for tests.
+struct Separator {
+  std::vector<index_t> left;
+  std::vector<index_t> right;
+  std::vector<index_t> sep;
+};
+
+/// Compute a vertex separator by BFS level bisection + boundary extraction
+/// + one-sided shrink refinement.  `g` must be non-empty.
+Separator find_vertex_separator(const sparse::Graph& g,
+                                const NdOptions& opts = {});
+
+}  // namespace sparts::ordering

@@ -1,0 +1,99 @@
+#include "ordering/rcm.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/error.hpp"
+
+namespace sparts::ordering {
+
+namespace {
+
+/// BFS from `start`; returns (levels, last vertex of the deepest level with
+/// minimal degree).  `levels` is -1 for unreached vertices.
+std::pair<std::vector<index_t>, index_t> bfs_levels(const sparse::Graph& g,
+                                                    index_t start) {
+  std::vector<index_t> level(static_cast<std::size_t>(g.n()), -1);
+  std::vector<index_t> frontier{start};
+  level[static_cast<std::size_t>(start)] = 0;
+  index_t depth = 0;
+  std::vector<index_t> last_frontier = frontier;
+  while (!frontier.empty()) {
+    last_frontier = frontier;
+    std::vector<index_t> next;
+    for (index_t v : frontier) {
+      for (index_t u : g.neighbors(v)) {
+        if (level[static_cast<std::size_t>(u)] == -1) {
+          level[static_cast<std::size_t>(u)] = depth + 1;
+          next.push_back(u);
+        }
+      }
+    }
+    frontier = std::move(next);
+    ++depth;
+  }
+  index_t best = last_frontier.front();
+  for (index_t v : last_frontier) {
+    if (g.degree(v) < g.degree(best)) best = v;
+  }
+  return {std::move(level), best};
+}
+
+}  // namespace
+
+index_t pseudo_peripheral_vertex(const sparse::Graph& g, index_t start) {
+  SPARTS_CHECK(start >= 0 && start < g.n());
+  index_t v = start;
+  index_t last_depth = -1;
+  for (int iter = 0; iter < 8; ++iter) {  // converges in a few iterations
+    auto [levels, far] = bfs_levels(g, v);
+    const index_t depth =
+        *std::max_element(levels.begin(), levels.end());
+    if (depth <= last_depth) break;
+    last_depth = depth;
+    v = far;
+  }
+  return v;
+}
+
+sparse::Permutation rcm(const sparse::Graph& g) {
+  const index_t n = g.n();
+  std::vector<index_t> order;
+  order.reserve(static_cast<std::size_t>(n));
+  std::vector<bool> visited(static_cast<std::size_t>(n), false);
+
+  for (index_t seed = 0; seed < n; ++seed) {
+    if (visited[static_cast<std::size_t>(seed)]) continue;
+    const index_t start = pseudo_peripheral_vertex(g, seed);
+    // Cuthill-McKee BFS with neighbors sorted by ascending degree.
+    std::queue<index_t> q;
+    q.push(start);
+    visited[static_cast<std::size_t>(start)] = true;
+    while (!q.empty()) {
+      const index_t v = q.front();
+      q.pop();
+      order.push_back(v);
+      std::vector<index_t> nbrs;
+      for (index_t u : g.neighbors(v)) {
+        if (!visited[static_cast<std::size_t>(u)]) {
+          visited[static_cast<std::size_t>(u)] = true;
+          nbrs.push_back(u);
+        }
+      }
+      std::sort(nbrs.begin(), nbrs.end(), [&g](index_t a, index_t b) {
+        const index_t da = g.degree(a), db = g.degree(b);
+        return da != db ? da < db : a < b;
+      });
+      for (index_t u : nbrs) q.push(u);
+    }
+  }
+  SPARTS_CHECK(static_cast<index_t>(order.size()) == n);
+  std::reverse(order.begin(), order.end());
+  return sparse::Permutation(std::move(order));
+}
+
+sparse::Permutation rcm(const sparse::SymmetricCsc& a) {
+  return rcm(sparse::Graph::from_symmetric(a));
+}
+
+}  // namespace sparts::ordering

@@ -1,0 +1,23 @@
+// Reverse Cuthill-McKee ordering — the classic bandwidth-reducing baseline.
+// Included as a fill-reduction baseline against nested dissection and
+// minimum degree (the paper assumes ND; RCM demonstrates why).
+#pragma once
+
+#include "sparse/formats.hpp"
+#include "sparse/permutation.hpp"
+
+namespace sparts::ordering {
+
+/// Reverse Cuthill-McKee ordering of a symmetric pattern.  Handles
+/// disconnected graphs (each component ordered from a pseudo-peripheral
+/// vertex).
+sparse::Permutation rcm(const sparse::Graph& g);
+
+/// Convenience overload over the matrix pattern.
+sparse::Permutation rcm(const sparse::SymmetricCsc& a);
+
+/// A vertex approximately maximizing eccentricity within its component,
+/// found by repeated BFS (George-Liu pseudo-peripheral heuristic).
+index_t pseudo_peripheral_vertex(const sparse::Graph& g, index_t start);
+
+}  // namespace sparts::ordering

@@ -1,0 +1,116 @@
+#include "parfact/parsymbolic.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "common/error.hpp"
+#include "mapping/subtree_to_subcube.hpp"
+#include "ordering/etree.hpp"
+
+namespace sparts::parfact {
+
+ParSymbolicResult parallel_symbolic(simpar::Machine& machine,
+                                    const sparse::SymmetricCsc& a) {
+  const index_t n = a.n();
+  const index_t p = machine.nprocs();
+
+  // The elimination tree is cheap (O(nnz alpha)) and replicated; the
+  // structure computation below is the phase that carries the O(nnz(L))
+  // work and data volume.
+  ordering::EliminationTree etree = ordering::elimination_tree(a);
+  auto children = ordering::tree_children(etree);
+
+  // Column work weight: its below-diagonal entries in A (a proxy for the
+  // merge work before fill is known).
+  std::vector<double> work(static_cast<std::size_t>(n));
+  for (index_t j = 0; j < n; ++j) {
+    work[static_cast<std::size_t>(j)] =
+        static_cast<double>(a.col_rows(j).size());
+  }
+  const std::vector<simpar::Group> groups =
+      mapping::subtree_to_subcube_tree(etree, p, work);
+  auto owner_of = [&groups](index_t j) {
+    return groups[static_cast<std::size_t>(j)].base;
+  };
+
+  // Per-rank storage of computed column structures.
+  std::vector<std::unordered_map<index_t, std::vector<index_t>>> structs(
+      static_cast<std::size_t>(p));
+
+  auto spmd = [&](simpar::Proc& proc) {
+    const index_t w = proc.rank();
+    auto& mine = structs[static_cast<std::size_t>(w)];
+    std::vector<index_t> mark(static_cast<std::size_t>(n), -1);
+
+    for (index_t j = 0; j < n; ++j) {
+      if (owner_of(j) != w) continue;
+
+      std::vector<index_t> out;
+      mark[static_cast<std::size_t>(j)] = j;
+      out.push_back(j);
+      double touched = 0.0;
+      for (index_t i : a.col_rows(j)) {
+        touched += 1.0;
+        if (i > j && mark[static_cast<std::size_t>(i)] != j) {
+          mark[static_cast<std::size_t>(i)] = j;
+          out.push_back(i);
+        }
+      }
+      for (index_t c : children[static_cast<std::size_t>(j)]) {
+        // Local child structures stay resident (the host assembles the
+        // final factor from them); remote ones arrive as messages.
+        std::vector<index_t> received;
+        if (owner_of(c) != w) {
+          received = proc.recv_values<index_t>(owner_of(c),
+                                               static_cast<int>(c));
+        }
+        const std::vector<index_t>& child_struct =
+            owner_of(c) == w ? mine.at(c) : received;
+        for (index_t i : child_struct) {
+          touched += 1.0;
+          if (i > j && mark[static_cast<std::size_t>(i)] != j) {
+            mark[static_cast<std::size_t>(i)] = j;
+            out.push_back(i);
+          }
+        }
+      }
+      std::sort(out.begin(), out.end());
+      proc.compute_at(touched + static_cast<double>(out.size()),
+                      proc.cost().t_mem);
+
+      // Ship the structure to the parent's owner if remote; keep a copy
+      // locally (it is this column's final structure either way).
+      const index_t parent = etree.parent[static_cast<std::size_t>(j)];
+      if (parent != -1 && owner_of(parent) != w) {
+        proc.send_values<index_t>(owner_of(parent), static_cast<int>(j),
+                                  out);
+      }
+      mine[j] = std::move(out);
+    }
+  };
+
+  ParSymbolicResult result;
+  result.stats = machine.run(spmd);
+
+  // Assemble the factor host-side from the per-rank structures.
+  symbolic::SymbolicFactor f;
+  f.n = n;
+  f.etree = std::move(etree);
+  f.colptr.assign(static_cast<std::size_t>(n) + 1, 0);
+  for (index_t j = 0; j < n; ++j) {
+    const auto& s = structs[static_cast<std::size_t>(owner_of(j))].at(j);
+    f.colptr[static_cast<std::size_t>(j) + 1] =
+        f.colptr[static_cast<std::size_t>(j)] +
+        static_cast<nnz_t>(s.size());
+  }
+  f.rowind.reserve(static_cast<std::size_t>(f.colptr.back()));
+  for (index_t j = 0; j < n; ++j) {
+    const auto& s = structs[static_cast<std::size_t>(owner_of(j))].at(j);
+    f.rowind.insert(f.rowind.end(), s.begin(), s.end());
+  }
+  result.symbolic = std::move(f);
+  return result;
+}
+
+}  // namespace sparts::parfact

@@ -1,0 +1,41 @@
+// Distributed symbolic factorization.
+//
+// The paper's introduction insists that *every* phase of the direct solve
+// must be parallelized for the whole solver to scale ("without an overall
+// parallel solver, the size of the sparse systems that can be solved may
+// be severely restricted").  This module parallelizes the symbolic phase
+// on the simulated machine, in the style of the authors' own solver:
+//
+//   * columns are mapped subtree-to-subcube over the *elimination tree*
+//     (supernodes do not exist yet);
+//   * each processor computes the structures of its own subtree's columns
+//     locally — struct(j) = A_below(j) ∪ (∪_children struct(c) \ {c});
+//   * at a subtree's root, its boundary structure is sent to the owner of
+//     the parent column (the first rank of the parent's group), so the
+//     top log p levels merge structures with point-to-point messages.
+//
+// The result is verified entry-for-entry against the sequential
+// symbolic_cholesky (tests), and the cost is measured by
+// bench_parallel_phases next to factorization and solve.
+#pragma once
+
+#include "common/types.hpp"
+#include "simpar/machine.hpp"
+#include "sparse/formats.hpp"
+#include "symbolic/symbolic.hpp"
+
+namespace sparts::parfact {
+
+struct ParSymbolicResult {
+  symbolic::SymbolicFactor symbolic;  ///< identical to the sequential one
+  simpar::RunStats stats;
+
+  double time() const { return stats.parallel_time(); }
+};
+
+/// Run the distributed symbolic factorization of A's pattern on the
+/// simulated machine (p = machine.nprocs(), a power of two).
+ParSymbolicResult parallel_symbolic(simpar::Machine& machine,
+                                    const sparse::SymmetricCsc& a);
+
+}  // namespace sparts::parfact

@@ -1,0 +1,93 @@
+#include "partrisolve/dense_trisolve.hpp"
+
+#include <vector>
+
+#include "common/error.hpp"
+#include "dense/kernels.hpp"
+#include "partrisolve/layout.hpp"
+
+namespace sparts::partrisolve {
+
+simpar::RunStats dense_parallel_forward(simpar::Machine& machine,
+                                        const dense::Matrix& l,
+                                        std::span<real_t> b, index_t m,
+                                        index_t block_size) {
+  const index_t n = l.rows();
+  SPARTS_CHECK(l.cols() == n);
+  SPARTS_CHECK(static_cast<index_t>(b.size()) == n * m);
+  const index_t p = machine.nprocs();
+  constexpr int kTokenTag = 1;
+
+  // The whole matrix is one "supernode" with ns = t = n shared by all p.
+  const Layout lay{p, block_size, n, n};
+  const index_t tb = lay.num_pivot_blocks();
+
+  auto spmd = [&](simpar::Proc& proc) {
+    const index_t r = proc.rank();
+    const index_t q = p;
+    const index_t next = (r + 1) % q;
+    const index_t prev = (r + q - 1) % q;
+    const index_t nloc = lay.local_count(r);
+    const index_t ld = n;
+
+    // Local packed copy of my rows of b.
+    std::vector<real_t> v(static_cast<std::size_t>(nloc * m));
+    for (index_t i = 0; i < n; ++i) {
+      if (lay.owner_of(i) != r) continue;
+      const index_t lo = lay.local_of(i);
+      for (index_t c = 0; c < m; ++c) {
+        v[static_cast<std::size_t>(c * nloc + lo)] = b[c * n + i];
+      }
+    }
+
+    for (index_t k = 0; k < tb; ++k) {
+      const index_t owner = lay.owner_of_block(k);
+      const index_t c0 = lay.col_begin(k);
+      const index_t bk = lay.col_end(k) - c0;
+      std::vector<real_t> token;
+      if (r == owner) {
+        const index_t lo = lay.local_of(c0);
+        proc.compute_at(static_cast<double>(dense::panel_trsm_lower(
+                            bk, m, l.col(c0) + c0, ld, v.data() + lo, nloc)),
+                        proc.cost().panel_flop(m));
+        token.resize(static_cast<std::size_t>(bk * m));
+        for (index_t c = 0; c < m; ++c) {
+          for (index_t i = 0; i < bk; ++i) {
+            token[static_cast<std::size_t>(c * bk + i)] =
+                v[static_cast<std::size_t>(c * nloc + lo + i)];
+          }
+        }
+        proc.compute_at(static_cast<double>(bk * m), proc.cost().t_mem);
+        if (q > 1) proc.send_values<real_t>(next, kTokenTag, token);
+      } else {
+        token = proc.recv_values<real_t>(prev, kTokenTag);
+        if ((r + 1) % q != owner) {
+          proc.send_values<real_t>(next, kTokenTag, token);
+        }
+      }
+      // Apply the token to my block rows below K.
+      for (index_t i = k + 1 + (((r - k - 1) % q + q) % q);
+           i < lay.num_blocks(); i += q) {
+        const index_t i0 = lay.block_begin(i);
+        const index_t len = lay.block_end(i) - i0;
+        dense::panel_gemm(len, m, bk, -1.0, l.col(c0) + i0, ld, token.data(),
+                          bk, v.data() + lay.local_of(i0), nloc);
+        proc.compute_at(static_cast<double>(dense::gemm_flops(len, m, bk)),
+                        proc.cost().panel_flop(m));
+      }
+    }
+
+    // Publish results.
+    for (index_t i = 0; i < n; ++i) {
+      if (lay.owner_of(i) != r) continue;
+      const index_t lo = lay.local_of(i);
+      for (index_t c = 0; c < m; ++c) {
+        b[c * n + i] = v[static_cast<std::size_t>(c * nloc + lo)];
+      }
+    }
+  };
+
+  return machine.run(spmd);
+}
+
+}  // namespace sparts::partrisolve

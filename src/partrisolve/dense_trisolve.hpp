@@ -1,0 +1,23 @@
+// Parallel *dense* triangular solver with 1-D row-wise block-cyclic
+// partitioning and column-priority pipelining — the baseline of the
+// paper's §3.3 scalability comparison (a sparse solver on 2-D/3-D problems
+// is asymptotically exactly as scalable as this dense solver).
+#pragma once
+
+#include <span>
+
+#include "common/types.hpp"
+#include "dense/matrix.hpp"
+#include "simpar/machine.hpp"
+
+namespace sparts::partrisolve {
+
+/// Solve L x = b on the whole simulated machine.  `l` is n x n lower
+/// triangular (shared read-only), `b` is n x m column-major and receives
+/// the solution in place.  Block-cyclic with the given block size.
+simpar::RunStats dense_parallel_forward(simpar::Machine& machine,
+                                        const dense::Matrix& l,
+                                        std::span<real_t> b, index_t m,
+                                        index_t block_size);
+
+}  // namespace sparts::partrisolve

@@ -1,0 +1,83 @@
+#include "partrisolve/dist_factor.hpp"
+
+#include "common/error.hpp"
+#include "partrisolve/layout.hpp"
+
+namespace sparts::partrisolve {
+
+DistributedFactor::DistributedFactor(const symbolic::SupernodePartition& part,
+                                     const mapping::SubcubeMapping& map,
+                                     index_t block_size)
+    : block_size_(block_size),
+      storage_(static_cast<std::size_t>(map.p)),
+      local_rows_(static_cast<std::size_t>(map.p)) {
+  SPARTS_CHECK(block_size >= 1);
+  for (index_t s = 0; s < part.num_supernodes(); ++s) {
+    const simpar::Group& g = map.group[static_cast<std::size_t>(s)];
+    const Layout lay{g.count, block_size, part.height(s), part.width(s)};
+    for (index_t r = 0; r < g.count; ++r) {
+      const index_t w = g.world(r);
+      const index_t nloc = lay.local_count(r);
+      local_rows_[static_cast<std::size_t>(w)][s] = nloc;
+      storage_[static_cast<std::size_t>(w)][s].assign(
+          static_cast<std::size_t>(nloc * part.width(s)), 0.0);
+    }
+  }
+}
+
+DistributedFactor DistributedFactor::pack_from(
+    const numeric::SupernodalFactor& factor, const mapping::SubcubeMapping& map,
+    index_t block_size) {
+  const auto& part = factor.partition();
+  DistributedFactor df(part, map, block_size);
+  for (index_t s = 0; s < part.num_supernodes(); ++s) {
+    const simpar::Group& g = map.group[static_cast<std::size_t>(s)];
+    const Layout lay{g.count, block_size, part.height(s), part.width(s)};
+    const auto block = factor.block(s);
+    const index_t t = part.width(s);
+    for (index_t r = 0; r < g.count; ++r) {
+      const index_t w = g.world(r);
+      auto& local = df.local_block(w, s);
+      const index_t nloc = lay.local_count(r);
+      for (index_t i = 0; i < lay.ns; ++i) {
+        if (lay.owner_of(i) != r) continue;
+        const index_t lo = lay.local_of(i);
+        for (index_t k = 0; k < t; ++k) {
+          local[static_cast<std::size_t>(k * nloc + lo)] =
+              block[static_cast<std::size_t>(k * lay.ns + i)];
+        }
+      }
+    }
+  }
+  return df;
+}
+
+std::vector<real_t>& DistributedFactor::local_block(index_t rank, index_t s) {
+  auto& m = storage_[static_cast<std::size_t>(rank)];
+  auto it = m.find(s);
+  SPARTS_CHECK(it != m.end(),
+               "rank " << rank << " holds no block of supernode " << s);
+  return it->second;
+}
+
+const std::vector<real_t>& DistributedFactor::local_block(index_t rank,
+                                                          index_t s) const {
+  const auto& m = storage_[static_cast<std::size_t>(rank)];
+  auto it = m.find(s);
+  SPARTS_CHECK(it != m.end(),
+               "rank " << rank << " holds no block of supernode " << s);
+  return it->second;
+}
+
+bool DistributedFactor::has_block(index_t rank, index_t s) const {
+  return storage_[static_cast<std::size_t>(rank)].count(s) > 0;
+}
+
+index_t DistributedFactor::local_rows(index_t rank, index_t s) const {
+  const auto& m = local_rows_[static_cast<std::size_t>(rank)];
+  auto it = m.find(s);
+  SPARTS_CHECK(it != m.end());
+  return it->second;
+}
+
+}  // namespace sparts::partrisolve

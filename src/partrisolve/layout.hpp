@@ -1,0 +1,55 @@
+// Per-supernode distributed layout arithmetic.
+//
+// The trapezoid of a supernode (height ns, width t) is distributed among
+// the q processors of its group by 1-D row-wise block-cyclic mapping with
+// block size b over its *positions* 0..ns-1 (position i is the i-th row of
+// the trapezoid; positions < t are the pivot rows).  Each rank stores its
+// owned positions packed in ascending order; because only the globally last
+// block can be ragged, the packed offset of a position is O(1).
+#pragma once
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace sparts::partrisolve {
+
+struct Layout {
+  index_t q = 1;   ///< group size
+  index_t b = 1;   ///< block size
+  index_t ns = 0;  ///< trapezoid height (number of positions)
+  index_t t = 0;   ///< trapezoid width (pivot rows)
+
+  index_t num_blocks() const { return (ns + b - 1) / b; }
+  /// Blocks covering the pivot triangle.
+  index_t num_pivot_blocks() const { return (t + b - 1) / b; }
+
+  index_t block_of(index_t pos) const { return pos / b; }
+  index_t owner_of_block(index_t blk) const { return blk % q; }
+  index_t owner_of(index_t pos) const { return owner_of_block(pos / b); }
+
+  /// Rows of block `blk`: [block_begin, block_end).
+  index_t block_begin(index_t blk) const { return blk * b; }
+  index_t block_end(index_t blk) const { return std::min((blk + 1) * b, ns); }
+
+  /// Column range of pivot block K: [col_begin, col_end) (clipped at t).
+  index_t col_begin(index_t k) const { return k * b; }
+  index_t col_end(index_t k) const { return std::min((k + 1) * b, t); }
+
+  /// Packed local offset of position `pos` on its owner.
+  index_t local_of(index_t pos) const {
+    const index_t blk = pos / b;
+    const index_t local_block = blk / q;
+    return local_block * b + (pos - blk * b);
+  }
+
+  /// Number of positions owned by rank r.
+  index_t local_count(index_t r) const {
+    index_t count = 0;
+    for (index_t blk = r; blk < num_blocks(); blk += q) {
+      count += block_end(blk) - block_begin(blk);
+    }
+    return count;
+  }
+};
+
+}  // namespace sparts::partrisolve

@@ -1,0 +1,794 @@
+#include "partrisolve/partrisolve.hpp"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+#include "common/error.hpp"
+#include "dense/kernels.hpp"
+#include "ordering/etree.hpp"
+#include "partrisolve/layout.hpp"
+#include "partrisolve/packets.hpp"
+#include "simpar/collectives.hpp"
+
+namespace sparts::partrisolve {
+
+namespace {
+
+// Message tags: 4 streams per supernode id.
+int tag_fw_contrib(index_t s) { return static_cast<int>(4 * s + 0); }
+int tag_fw_token(index_t s) { return static_cast<int>(4 * s + 1); }
+int tag_bw_copy(index_t s) { return static_cast<int>(4 * s + 2); }
+int tag_bw_token(index_t s) { return static_cast<int>(4 * s + 3); }
+
+/// Per-rank working storage: supernode id -> packed local RHS fragment.
+using BufferMap = std::unordered_map<index_t, std::vector<real_t>>;
+
+}  // namespace
+
+DistributedTrisolver::DistributedTrisolver(
+    const numeric::SupernodalFactor& factor, const mapping::SubcubeMapping& map,
+    Options options)
+    : DistributedTrisolver(factor, nullptr, map, options) {}
+
+DistributedTrisolver::DistributedTrisolver(
+    const numeric::SupernodalFactor& factor,
+    const DistributedFactor* local_values, const mapping::SubcubeMapping& map,
+    Options options)
+    : factor_(factor), local_values_(local_values), map_(map),
+      options_(options) {
+  if (local_values_ != nullptr) {
+    SPARTS_CHECK(local_values_->block_size() == options_.block_size,
+                 "DistributedFactor block size must match solver options");
+  }
+  SPARTS_CHECK(options_.block_size >= 1);
+  const auto& part = factor_.partition();
+  map_.check_consistent(part);
+  children_ = ordering::tree_children(part.stree);
+
+  const index_t nsup = part.num_supernodes();
+  routing_.resize(static_cast<std::size_t>(nsup));
+  const index_t b = options_.block_size;
+  for (index_t s = 0; s < nsup; ++s) {
+    const index_t parent = part.stree.parent[static_cast<std::size_t>(s)];
+    if (parent == -1) continue;
+    const auto rows = part.row_indices(s);
+    const auto prows = part.row_indices(parent);
+    const index_t t = part.width(s);
+    const index_t below = part.height(s) - t;
+    const Layout child_layout{map_.group[static_cast<std::size_t>(s)].count, b,
+                              part.height(s), t};
+    const Layout parent_layout{
+        map_.group[static_cast<std::size_t>(parent)].count, b,
+        part.height(parent), part.width(parent)};
+
+    ChildRouting& cr = routing_[static_cast<std::size_t>(s)];
+    cr.parent_pos.resize(static_cast<std::size_t>(below));
+    for (index_t k = 0; k < below; ++k) {
+      const index_t row = rows[static_cast<std::size_t>(t + k)];
+      const auto it = std::lower_bound(prows.begin(), prows.end(), row);
+      SPARTS_CHECK(it != prows.end() && *it == row,
+                   "child row " << row << " missing from parent structure");
+      cr.parent_pos[static_cast<std::size_t>(k)] =
+          static_cast<index_t>(it - prows.begin());
+    }
+    const index_t cbase = map_.group[static_cast<std::size_t>(s)].base;
+    const index_t pbase = map_.group[static_cast<std::size_t>(parent)].base;
+    for (index_t k = 0; k < below; ++k) {
+      const index_t src = cbase + child_layout.owner_of(t + k);
+      const index_t dst =
+          pbase +
+          parent_layout.owner_of(cr.parent_pos[static_cast<std::size_t>(k)]);
+      if (src != dst) cr.pairs.emplace_back(src, dst);
+    }
+    std::sort(cr.pairs.begin(), cr.pairs.end());
+    cr.pairs.erase(std::unique(cr.pairs.begin(), cr.pairs.end()),
+                   cr.pairs.end());
+  }
+}
+
+namespace {
+
+/// Everything a phase's SPMD body needs, bundled to keep lambdas small.
+struct PhaseContext {
+  const numeric::SupernodalFactor& factor;
+  const mapping::SubcubeMapping& map;
+  const Options& options;
+  const std::vector<std::vector<index_t>>& children;
+  index_t m;
+};
+
+Layout layout_of(const PhaseContext& ctx, index_t s) {
+  const auto& part = ctx.factor.partition();
+  return Layout{ctx.map.group[static_cast<std::size_t>(s)].count,
+                ctx.options.block_size, part.height(s), part.width(s)};
+}
+
+/// View of one supernode's factor trapezoid as seen by one rank: either
+/// the shared host-resident block (rows indexed by global position) or the
+/// rank's packed local copy from a DistributedFactor (rows indexed by
+/// packed local offset).  Every access in the kernels below is to a row
+/// the rank owns, so both forms serve the same requests.
+struct LView {
+  const real_t* base = nullptr;
+  index_t ld = 0;
+  bool packed = false;
+  const Layout* lay = nullptr;
+
+  index_t row(index_t pos) const { return packed ? lay->local_of(pos) : pos; }
+  const real_t* col(index_t c) const { return base + c * ld; }
+};
+
+/// First block > K owned by rank r (blocks are owned cyclically).
+index_t first_owned_block_after(index_t k, index_t r, index_t q) {
+  const index_t start = k + 1;
+  const index_t shift = ((r - start) % q + q) % q;
+  return start + shift;
+}
+
+// ---------------------------------------------------------------------------
+// Forward elimination kernels on one shared supernode.
+// ---------------------------------------------------------------------------
+
+/// Apply token x_K to every block row of rank r strictly below block K.
+void fw_apply_token_to_my_blocks(simpar::Proc& proc, const PhaseContext& ctx,
+                                 const Layout& lay, index_t r,
+                                 const LView& lv, index_t k,
+                                 std::span<const real_t> token, real_t* v,
+                                 index_t ldv) {
+  const index_t c0 = lay.col_begin(k);
+  const index_t bk = lay.col_end(k) - c0;
+  for (index_t i = first_owned_block_after(k, r, lay.q); i < lay.num_blocks();
+       i += lay.q) {
+    const index_t i0 = lay.block_begin(i);
+    const index_t len = lay.block_end(i) - i0;
+    dense::panel_gemm(len, ctx.m, bk, -1.0, lv.col(c0) + lv.row(i0), lv.ld,
+                      token.data(), bk, v + lay.local_of(i0), ldv);
+    proc.compute_at(static_cast<double>(dense::gemm_flops(len, ctx.m, bk)),
+                    proc.cost().panel_flop(ctx.m));
+  }
+}
+
+/// Column-priority pipelined forward elimination (paper Fig. 3c).
+void fw_pipelined_column_priority(simpar::Proc& proc, const PhaseContext& ctx,
+                                  index_t s, const Layout& lay, index_t r,
+                                  const LView& lv, real_t* v,
+                                  index_t ldv) {
+  const index_t q = lay.q;
+  const simpar::Group g = ctx.map.group[static_cast<std::size_t>(s)];
+  const index_t next = g.base + (r + 1) % q;
+  const index_t prev = g.base + (r + q - 1) % q;
+  const index_t tb = lay.num_pivot_blocks();
+  const index_t m = ctx.m;
+
+  for (index_t k = 0; k < tb; ++k) {
+    const index_t owner = lay.owner_of_block(k);
+    const index_t c0 = lay.col_begin(k);
+    const index_t c1 = lay.col_end(k);
+    const index_t bk = c1 - c0;
+    std::vector<real_t> token;
+    if (r == owner) {
+      // The diagonal block's rows of V are fully updated; solve.
+      const index_t lo = lay.local_of(c0);
+      proc.compute_at(static_cast<double>(dense::panel_trsm_lower(
+                          bk, m, lv.col(c0) + lv.row(c0), lv.ld, v + lo, ldv)),
+                      proc.cost().panel_flop(m));
+      token.resize(static_cast<std::size_t>(bk * m));
+      for (index_t c = 0; c < m; ++c) {
+        for (index_t i = 0; i < bk; ++i) {
+          token[static_cast<std::size_t>(c * bk + i)] = v[c * ldv + lo + i];
+        }
+      }
+      proc.compute_at(static_cast<double>(bk * m), proc.cost().t_mem);
+      if (q > 1) {
+        proc.send_values<real_t>(next, tag_fw_token(s), token);
+      }
+      // Mixed tail: below-part rows sharing block K (only the last pivot
+      // block when b does not divide t).
+      const index_t tail0 = c1;
+      const index_t tail1 = lay.block_end(k);
+      if (tail1 > tail0) {
+        const index_t len = tail1 - tail0;
+        dense::panel_gemm(len, m, bk, -1.0, lv.col(c0) + lv.row(tail0), lv.ld,
+                          token.data(), bk, v + lay.local_of(tail0), ldv);
+        proc.compute_at(static_cast<double>(dense::gemm_flops(len, m, bk)),
+                        proc.cost().panel_flop(m));
+      }
+    } else {
+      token = proc.recv_values<real_t>(prev, tag_fw_token(s));
+      if ((r + 1) % q != owner) {
+        proc.send_values<real_t>(next, tag_fw_token(s), token);
+      }
+    }
+    fw_apply_token_to_my_blocks(proc, ctx, lay, r, lv, k, token, v,
+                                ldv);
+  }
+}
+
+/// Row-priority pipelined forward elimination (paper Fig. 3b): each rank
+/// walks its own block rows in ascending order, buffering tokens.
+void fw_pipelined_row_priority(simpar::Proc& proc, const PhaseContext& ctx,
+                               index_t s, const Layout& lay, index_t r,
+                               const LView& lv, real_t* v,
+                               index_t ldv) {
+  const index_t q = lay.q;
+  const simpar::Group g = ctx.map.group[static_cast<std::size_t>(s)];
+  const index_t next = g.base + (r + 1) % q;
+  const index_t prev = g.base + (r + q - 1) % q;
+  const index_t tb = lay.num_pivot_blocks();
+  const index_t m = ctx.m;
+
+  std::vector<std::vector<real_t>> tokens(static_cast<std::size_t>(tb));
+  index_t next_foreign = 0;
+  auto advance_foreign = [&] {
+    while (next_foreign < tb && lay.owner_of_block(next_foreign) == r) {
+      ++next_foreign;
+    }
+  };
+  advance_foreign();
+  auto obtain = [&](index_t k) -> const std::vector<real_t>& {
+    // Foreign tokens arrive in ascending order over the ring; my own were
+    // produced when I processed their diagonal block.
+    while (tokens[static_cast<std::size_t>(k)].empty()) {
+      SPARTS_CHECK(next_foreign <= k, "token ordering violated");
+      auto tok = proc.recv_values<real_t>(prev, tag_fw_token(s));
+      if ((r + 1) % q != lay.owner_of_block(next_foreign)) {
+        proc.send_values<real_t>(next, tag_fw_token(s), tok);
+      }
+      tokens[static_cast<std::size_t>(next_foreign)] = std::move(tok);
+      ++next_foreign;
+      advance_foreign();
+    }
+    return tokens[static_cast<std::size_t>(k)];
+  };
+  auto apply = [&](index_t k, index_t i0, index_t len,
+                   const std::vector<real_t>& tok) {
+    const index_t c0 = lay.col_begin(k);
+    const index_t bk = lay.col_end(k) - c0;
+    dense::panel_gemm(len, m, bk, -1.0, lv.col(c0) + lv.row(i0), lv.ld, tok.data(),
+                      bk, v + lay.local_of(i0), ldv);
+    proc.compute_at(static_cast<double>(dense::gemm_flops(len, m, bk)),
+                    proc.cost().panel_flop(m));
+  };
+
+  for (index_t i = r; i < lay.num_blocks(); i += q) {
+    const index_t i0 = lay.block_begin(i);
+    const index_t i1 = lay.block_end(i);
+    if (i < tb) {
+      // Update this row block with all earlier columns, then solve its
+      // diagonal block (I always own column block i of my own row block).
+      for (index_t k = 0; k < i; ++k) apply(k, i0, i1 - i0, obtain(k));
+      const index_t c1 = lay.col_end(i);
+      const index_t bk = c1 - i0;
+      const index_t lo = lay.local_of(i0);
+      proc.compute_at(static_cast<double>(dense::panel_trsm_lower(
+                          bk, m, lv.col(i0) + lv.row(i0), lv.ld, v + lo, ldv)),
+                      proc.cost().panel_flop(m));
+      std::vector<real_t> token(static_cast<std::size_t>(bk * m));
+      for (index_t c = 0; c < m; ++c) {
+        for (index_t ii = 0; ii < bk; ++ii) {
+          token[static_cast<std::size_t>(c * bk + ii)] = v[c * ldv + lo + ii];
+        }
+      }
+      proc.compute_at(static_cast<double>(bk * m), proc.cost().t_mem);
+      if (q > 1) proc.send_values<real_t>(next, tag_fw_token(s), token);
+      if (i1 > c1) {
+        // Mixed tail rows of this block need my fresh token as well.
+        apply(i, c1, i1 - c1, token);
+      }
+      tokens[static_cast<std::size_t>(i)] = std::move(token);
+    } else {
+      for (index_t k = 0; k < tb; ++k) apply(k, i0, i1 - i0, obtain(k));
+    }
+  }
+  // Drain tokens this rank never needed locally (it must still forward
+  // them so downstream ranks receive the full stream).
+  while (next_foreign < tb) {
+    auto tok = proc.recv_values<real_t>(prev, tag_fw_token(s));
+    if ((r + 1) % q != lay.owner_of_block(next_foreign)) {
+      proc.send_values<real_t>(next, tag_fw_token(s), tok);
+    }
+    tokens[static_cast<std::size_t>(next_foreign)] = std::move(tok);
+    ++next_foreign;
+    advance_foreign();
+  }
+}
+
+/// Fan-out (non-pipelined) forward elimination: the owner of each pivot
+/// block broadcasts the solved sub-vector to the whole group.  Costs
+/// ~log q startups per block instead of overlapping them — the baseline
+/// the paper's ring pipeline improves on.
+void fw_fan_out(simpar::Proc& proc, const PhaseContext& ctx, index_t s,
+                const Layout& lay, index_t r, const LView& lv,
+                real_t* v, index_t ldv) {
+  const simpar::Group g = ctx.map.group[static_cast<std::size_t>(s)];
+  const index_t tb = lay.num_pivot_blocks();
+  const index_t m = ctx.m;
+
+  for (index_t k = 0; k < tb; ++k) {
+    const index_t owner = lay.owner_of_block(k);
+    const index_t c0 = lay.col_begin(k);
+    const index_t c1 = lay.col_end(k);
+    const index_t bk = c1 - c0;
+    std::vector<real_t> token;
+    if (r == owner) {
+      const index_t lo = lay.local_of(c0);
+      proc.compute_at(static_cast<double>(dense::panel_trsm_lower(
+                          bk, m, lv.col(c0) + lv.row(c0), lv.ld, v + lo, ldv)),
+                      proc.cost().panel_flop(m));
+      token.resize(static_cast<std::size_t>(bk * m));
+      for (index_t c = 0; c < m; ++c) {
+        for (index_t i = 0; i < bk; ++i) {
+          token[static_cast<std::size_t>(c * bk + i)] = v[c * ldv + lo + i];
+        }
+      }
+      proc.compute_at(static_cast<double>(bk * m), proc.cost().t_mem);
+      const index_t tail0 = c1;
+      const index_t tail1 = lay.block_end(k);
+      if (tail1 > tail0) {
+        const index_t len = tail1 - tail0;
+        dense::panel_gemm(len, m, bk, -1.0, lv.col(c0) + lv.row(tail0), lv.ld,
+                          token.data(), bk, v + lay.local_of(tail0), ldv);
+        proc.compute_at(static_cast<double>(dense::gemm_flops(len, m, bk)),
+                        proc.cost().panel_flop(m));
+      }
+    }
+    simpar::broadcast_from(proc, g, owner, token, tag_fw_token(s));
+    fw_apply_token_to_my_blocks(proc, ctx, lay, r, lv, k, token, v,
+                                ldv);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Backward substitution kernel on one shared supernode (paper Fig. 4).
+// ---------------------------------------------------------------------------
+
+void bw_pipelined(simpar::Proc& proc, const PhaseContext& ctx, index_t s,
+                  const Layout& lay, index_t r, const LView& lv,
+                  real_t* w, index_t ldw) {
+  const index_t q = lay.q;
+  const simpar::Group g = ctx.map.group[static_cast<std::size_t>(s)];
+  // The partial-sum token for column K travels the ring in the -1
+  // direction, starting at owner(K)-1 and ending at owner(K).  This order
+  // matters: the chain's early links only need x-values of long-finished
+  // columns, and the freshest dependency (x_{K+1}, solved by the
+  // immediately preceding chain) is added at the second-to-last link — so
+  // successive columns' chains overlap in a wavefront exactly as in the
+  // paper's Fig. 4.  (Running the chain the other way serializes every
+  // chain behind the completion of the previous column: tb*q hops instead
+  // of ~q + tb.)
+  const index_t next = g.base + (r + q - 1) % q;
+  const index_t prev = g.base + (r + 1) % q;
+  const index_t tb = lay.num_pivot_blocks();
+  const index_t m = ctx.m;
+
+  for (index_t k = tb - 1; k >= 0; --k) {
+    const index_t owner = lay.owner_of_block(k);
+    const index_t c0 = lay.col_begin(k);
+    const index_t c1 = lay.col_end(k);
+    const index_t bk = c1 - c0;
+
+    // Local partial sum: L(I, K)^T * w_I over my block rows below K.
+    std::vector<real_t> acc(static_cast<std::size_t>(bk * m), 0.0);
+    for (index_t i = first_owned_block_after(k, r, q); i < lay.num_blocks();
+         i += q) {
+      const index_t i0 = lay.block_begin(i);
+      const index_t len = lay.block_end(i) - i0;
+      dense::panel_gemm_at(bk, m, len, 1.0, lv.col(c0) + lv.row(i0), lv.ld,
+                           w + lay.local_of(i0), ldw, acc.data(), bk);
+      proc.compute_at(static_cast<double>(dense::gemm_flops(bk, m, len)),
+                      proc.cost().panel_flop(m));
+    }
+    if (r == owner && lay.block_end(k) > c1) {
+      // Mixed tail rows of block K (below-part rows in the pivot block).
+      const index_t len = lay.block_end(k) - c1;
+      dense::panel_gemm_at(bk, m, len, 1.0, lv.col(c0) + lv.row(c1), lv.ld,
+                           w + lay.local_of(c1), ldw, acc.data(), bk);
+      proc.compute_at(static_cast<double>(dense::gemm_flops(bk, m, len)),
+                      proc.cost().panel_flop(m));
+    }
+
+    const index_t chain_pos = ((k - 1 - r) % q + q) % q;
+    if (r != owner) {
+      if (chain_pos != 0) {
+        auto in = proc.recv_values<real_t>(prev, tag_bw_token(s));
+        SPARTS_CHECK(in.size() == acc.size());
+        for (std::size_t z = 0; z < acc.size(); ++z) acc[z] += in[z];
+        proc.compute_at(static_cast<double>(acc.size()),
+                        proc.cost().t_mem);
+      }
+      proc.send_values<real_t>(next, tag_bw_token(s), acc);
+    } else {
+      if (q > 1) {
+        auto in = proc.recv_values<real_t>(prev, tag_bw_token(s));
+        SPARTS_CHECK(in.size() == acc.size());
+        for (std::size_t z = 0; z < acc.size(); ++z) acc[z] += in[z];
+        proc.compute_at(static_cast<double>(acc.size()),
+                        proc.cost().t_mem);
+      }
+      // w_K <- L(K,K)^{-T} (w_K - acc).
+      const index_t lo = lay.local_of(c0);
+      for (index_t c = 0; c < m; ++c) {
+        for (index_t i = 0; i < bk; ++i) {
+          w[c * ldw + lo + i] -= acc[static_cast<std::size_t>(c * bk + i)];
+        }
+      }
+      proc.compute_at(static_cast<double>(bk * m), proc.cost().t_mem);
+      proc.compute_at(
+          static_cast<double>(dense::panel_trsm_lower_transposed(
+              bk, m, lv.col(c0) + lv.row(c0), lv.ld, w + lo, ldw)),
+          proc.cost().panel_flop(m));
+    }
+  }
+}
+
+/// Fan-in (non-pipelined) backward substitution: each column's partial
+/// sums are combined with a log-q reduction to the diagonal owner instead
+/// of flowing along the ring.
+void bw_fan_in(simpar::Proc& proc, const PhaseContext& ctx, index_t s,
+               const Layout& lay, index_t r, const LView& lv,
+               real_t* w, index_t ldw) {
+  const index_t q = lay.q;
+  const simpar::Group g = ctx.map.group[static_cast<std::size_t>(s)];
+  const index_t tb = lay.num_pivot_blocks();
+  const index_t m = ctx.m;
+
+  for (index_t k = tb - 1; k >= 0; --k) {
+    const index_t owner = lay.owner_of_block(k);
+    const index_t c0 = lay.col_begin(k);
+    const index_t c1 = lay.col_end(k);
+    const index_t bk = c1 - c0;
+
+    std::vector<real_t> acc(static_cast<std::size_t>(bk * m), 0.0);
+    for (index_t i = first_owned_block_after(k, r, q); i < lay.num_blocks();
+         i += q) {
+      const index_t i0 = lay.block_begin(i);
+      const index_t len = lay.block_end(i) - i0;
+      dense::panel_gemm_at(bk, m, len, 1.0, lv.col(c0) + lv.row(i0), lv.ld,
+                           w + lay.local_of(i0), ldw, acc.data(), bk);
+      proc.compute_at(static_cast<double>(dense::gemm_flops(bk, m, len)),
+                      proc.cost().panel_flop(m));
+    }
+    if (r == owner && lay.block_end(k) > c1) {
+      const index_t len = lay.block_end(k) - c1;
+      dense::panel_gemm_at(bk, m, len, 1.0, lv.col(c0) + lv.row(c1), lv.ld,
+                           w + lay.local_of(c1), ldw, acc.data(), bk);
+      proc.compute_at(static_cast<double>(dense::gemm_flops(bk, m, len)),
+                      proc.cost().panel_flop(m));
+    }
+    simpar::reduce_sum_to(proc, g, owner, acc, tag_bw_token(s));
+    if (r == owner) {
+      const index_t lo = lay.local_of(c0);
+      for (index_t c = 0; c < m; ++c) {
+        for (index_t i = 0; i < bk; ++i) {
+          w[c * ldw + lo + i] -= acc[static_cast<std::size_t>(c * bk + i)];
+        }
+      }
+      proc.compute_at(static_cast<double>(bk * m), proc.cost().t_mem);
+      proc.compute_at(
+          static_cast<double>(dense::panel_trsm_lower_transposed(
+              bk, m, lv.col(c0) + lv.row(c0), lv.ld, w + lo, ldw)),
+          proc.cost().panel_flop(m));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Shared helpers for both phases.
+// ---------------------------------------------------------------------------
+
+/// Allocate (if needed) the packed local fragment for supernode s on this
+/// rank and initialize its pivot positions from `source` (B for forward,
+/// Y for backward); below positions start at zero.
+std::vector<real_t>& ensure_buffer(const PhaseContext& ctx, BufferMap& bufs,
+                                   index_t s, index_t r,
+                                   std::span<const real_t> source,
+                                   index_t n) {
+  auto it = bufs.find(s);
+  if (it != bufs.end()) return it->second;
+  const Layout lay = layout_of(ctx, s);
+  const auto& part = ctx.factor.partition();
+  const index_t nloc = lay.local_count(r);
+  auto& v = bufs[s];
+  v.assign(static_cast<std::size_t>(nloc * ctx.m), 0.0);
+  const auto rows = part.row_indices(s);
+  for (index_t i = 0; i < lay.t; ++i) {
+    if (lay.owner_of(i) != r) continue;
+    const index_t lo = lay.local_of(i);
+    const index_t row = rows[static_cast<std::size_t>(i)];
+    for (index_t c = 0; c < ctx.m; ++c) {
+      v[static_cast<std::size_t>(c * nloc + lo)] = source[c * n + row];
+    }
+  }
+  return v;
+}
+
+/// Build the factor view for (rank, supernode): packed local copy when a
+/// DistributedFactor is attached, shared host block otherwise.
+LView make_view(const numeric::SupernodalFactor& factor,
+                const DistributedFactor* local_values, index_t w, index_t s,
+                const Layout& lay) {
+  LView lv;
+  lv.lay = &lay;
+  if (local_values != nullptr) {
+    const auto& block = local_values->local_block(w, s);
+    lv.base = block.data();
+    lv.ld = local_values->local_rows(w, s);
+    lv.packed = true;
+  } else {
+    lv.base = factor.block(s).data();
+    lv.ld = lay.ns;
+    lv.packed = false;
+  }
+  return lv;
+}
+
+}  // namespace
+
+PhaseReport DistributedTrisolver::forward(simpar::Machine& machine,
+                                          std::span<const real_t> b_in,
+                                          std::span<real_t> y_out,
+                                          index_t m) const {
+  const auto& part = factor_.partition();
+  const index_t n = part.n();
+  SPARTS_CHECK(machine.nprocs() == map_.p,
+               "machine size does not match the mapping");
+  SPARTS_CHECK(static_cast<index_t>(b_in.size()) == n * m);
+  SPARTS_CHECK(static_cast<index_t>(y_out.size()) == n * m);
+
+  PhaseContext ctx{factor_, map_, options_, children_, m};
+  const index_t nsup = part.num_supernodes();
+
+  std::vector<BufferMap> rank_bufs(static_cast<std::size_t>(map_.p));
+
+  auto spmd = [&](simpar::Proc& proc) {
+    const index_t w = proc.rank();
+    BufferMap& bufs = rank_bufs[static_cast<std::size_t>(w)];
+    for (index_t s = 0; s < nsup; ++s) {
+      const simpar::Group g = map_.group[static_cast<std::size_t>(s)];
+      if (!g.contains(w)) continue;
+      const index_t r = w - g.base;
+      const Layout lay = layout_of(ctx, s);
+      const index_t nloc = lay.local_count(r);
+      auto& v = ensure_buffer(ctx, bufs, s, r, b_in, n);
+
+      // Receive remote child contributions.
+      for (index_t c : children_[static_cast<std::size_t>(s)]) {
+        const ChildRouting& cr = routing_[static_cast<std::size_t>(c)];
+        for (const auto& [src, dst] : cr.pairs) {
+          if (dst != w) continue;
+          auto msg = proc.recv(src, tag_fw_contrib(c));
+          RhsPacket pkt = unpack_rhs(msg.payload, m);
+          // The child's tail already holds -L21*y, so contributions add.
+          for (std::size_t z = 0; z < pkt.positions.size(); ++z) {
+            const index_t lo = lay.local_of(pkt.positions[z]);
+            for (index_t col = 0; col < m; ++col) {
+              v[static_cast<std::size_t>(col * nloc + lo)] +=
+                  pkt.values[z * static_cast<std::size_t>(m) +
+                             static_cast<std::size_t>(col)];
+            }
+          }
+          proc.compute_at(static_cast<double>(pkt.positions.size()) *
+                              static_cast<double>(m),
+                          proc.cost().t_mem);
+        }
+      }
+
+      const LView lv = make_view(factor_, local_values_, w, s, lay);
+      if (g.count == 1) {
+        // Entire trapezoid local: dense triangular solve + rectangle update.
+        proc.compute_at(static_cast<double>(dense::panel_trsm_lower(
+                            lay.t, m, lv.base, lv.ld, v.data(), nloc)),
+                        proc.cost().panel_flop(m));
+        const index_t below = lay.ns - lay.t;
+        if (below > 0) {
+          dense::panel_gemm(below, m, lay.t, -1.0, lv.base + lv.row(lay.t),
+                            lv.ld, v.data(), nloc, v.data() + lay.t, nloc);
+          proc.compute_at(
+              static_cast<double>(dense::gemm_flops(below, m, lay.t)),
+              proc.cost().panel_flop(m));
+        }
+      } else if (options_.pipelining == Pipelining::column_priority) {
+        fw_pipelined_column_priority(proc, ctx, s, lay, r, lv, v.data(),
+                                     nloc);
+      } else if (options_.pipelining == Pipelining::row_priority) {
+        fw_pipelined_row_priority(proc, ctx, s, lay, r, lv, v.data(), nloc);
+      } else {
+        fw_fan_out(proc, ctx, s, lay, r, lv, v.data(), nloc);
+      }
+
+      // Publish Y at my pivot positions.
+      const auto rows = part.row_indices(s);
+      for (index_t i = 0; i < lay.t; ++i) {
+        if (lay.owner_of(i) != r) continue;
+        const index_t lo = lay.local_of(i);
+        const index_t row = rows[static_cast<std::size_t>(i)];
+        for (index_t c = 0; c < m; ++c) {
+          y_out[c * n + row] = v[static_cast<std::size_t>(c * nloc + lo)];
+        }
+      }
+
+      // Route the tail to the parent.
+      const index_t parent = part.stree.parent[static_cast<std::size_t>(s)];
+      if (parent != -1) {
+        const ChildRouting& cr = routing_[static_cast<std::size_t>(s)];
+        const Layout play = layout_of(ctx, parent);
+        const simpar::Group pg =
+            map_.group[static_cast<std::size_t>(parent)];
+        const index_t below = lay.ns - lay.t;
+        std::map<index_t, RhsPacket> buckets;
+        for (index_t k = 0; k < below; ++k) {
+          const index_t pos = lay.t + k;
+          if (lay.owner_of(pos) != r) continue;
+          const index_t ppos = cr.parent_pos[static_cast<std::size_t>(k)];
+          const index_t dst = pg.base + play.owner_of(ppos);
+          const index_t lo = lay.local_of(pos);
+          if (dst == w) {
+            // Local hand-off: the tail holds -L21*y, so it adds directly
+            // into the parent fragment.
+            auto& pv = ensure_buffer(ctx, bufs, parent, w - pg.base, b_in, n);
+            const index_t pnloc = play.local_count(w - pg.base);
+            const index_t plo = play.local_of(ppos);
+            for (index_t c = 0; c < m; ++c) {
+              pv[static_cast<std::size_t>(c * pnloc + plo)] +=
+                  v[static_cast<std::size_t>(c * nloc + lo)];
+            }
+            proc.compute_at(static_cast<double>(m), proc.cost().t_mem);
+          } else {
+            RhsPacket& pkt = buckets[dst];
+            pkt.positions.push_back(ppos);
+            for (index_t c = 0; c < m; ++c) {
+              pkt.values.push_back(
+                  v[static_cast<std::size_t>(c * nloc + lo)]);
+            }
+          }
+        }
+        for (auto& [dst, pkt] : buckets) {
+          proc.send(dst, tag_fw_contrib(s), pack_rhs(pkt, m));
+        }
+      }
+      bufs.erase(s);
+    }
+  };
+
+  PhaseReport report;
+  report.stats = machine.run(spmd);
+  return report;
+}
+
+PhaseReport DistributedTrisolver::backward(simpar::Machine& machine,
+                                           std::span<const real_t> y_in,
+                                           std::span<real_t> x_out,
+                                           index_t m) const {
+  const auto& part = factor_.partition();
+  const index_t n = part.n();
+  SPARTS_CHECK(machine.nprocs() == map_.p,
+               "machine size does not match the mapping");
+  SPARTS_CHECK(static_cast<index_t>(y_in.size()) == n * m);
+  SPARTS_CHECK(static_cast<index_t>(x_out.size()) == n * m);
+
+  PhaseContext ctx{factor_, map_, options_, children_, m};
+  const index_t nsup = part.num_supernodes();
+  std::vector<BufferMap> rank_bufs(static_cast<std::size_t>(map_.p));
+
+  auto spmd = [&](simpar::Proc& proc) {
+    const index_t w = proc.rank();
+    BufferMap& bufs = rank_bufs[static_cast<std::size_t>(w)];
+    for (index_t s = nsup - 1; s >= 0; --s) {
+      const simpar::Group g = map_.group[static_cast<std::size_t>(s)];
+      if (!g.contains(w)) continue;
+      const index_t r = w - g.base;
+      const Layout lay = layout_of(ctx, s);
+      const index_t nloc = lay.local_count(r);
+      auto& wv = ensure_buffer(ctx, bufs, s, r, y_in, n);
+
+      // Receive the below-part values from the parent.
+      const index_t parent = part.stree.parent[static_cast<std::size_t>(s)];
+      if (parent != -1) {
+        const ChildRouting& cr = routing_[static_cast<std::size_t>(s)];
+        // Backward messages travel parent -> child: the pair roles swap.
+        for (const auto& [child_rank, parent_rank] : cr.pairs) {
+          if (child_rank != w) continue;
+          auto msg = proc.recv(parent_rank, tag_bw_copy(s));
+          RhsPacket pkt = unpack_rhs(msg.payload, m);
+          for (std::size_t z = 0; z < pkt.positions.size(); ++z) {
+            const index_t lo = lay.local_of(pkt.positions[z]);
+            for (index_t col = 0; col < m; ++col) {
+              wv[static_cast<std::size_t>(col * nloc + lo)] =
+                  pkt.values[z * static_cast<std::size_t>(m) +
+                             static_cast<std::size_t>(col)];
+            }
+          }
+          proc.compute_at(static_cast<double>(pkt.positions.size()) *
+                              static_cast<double>(m),
+                          proc.cost().t_mem);
+        }
+      }
+
+      const LView lv = make_view(factor_, local_values_, w, s, lay);
+      if (g.count == 1) {
+        const index_t below = lay.ns - lay.t;
+        if (below > 0) {
+          dense::panel_gemm_at(lay.t, m, below, -1.0,
+                               lv.base + lv.row(lay.t), lv.ld,
+                               wv.data() + lay.t, nloc, wv.data(), nloc);
+          proc.compute_at(
+              static_cast<double>(dense::gemm_flops(lay.t, m, below)),
+              proc.cost().panel_flop(m));
+        }
+        proc.compute_at(
+            static_cast<double>(dense::panel_trsm_lower_transposed(
+                lay.t, m, lv.base, lv.ld, wv.data(), nloc)),
+            proc.cost().panel_flop(m));
+      } else if (options_.pipelining == Pipelining::fan_out) {
+        bw_fan_in(proc, ctx, s, lay, r, lv, wv.data(), nloc);
+      } else {
+        bw_pipelined(proc, ctx, s, lay, r, lv, wv.data(), nloc);
+      }
+
+      // Publish X at my pivot positions.
+      const auto rows = part.row_indices(s);
+      for (index_t i = 0; i < lay.t; ++i) {
+        if (lay.owner_of(i) != r) continue;
+        const index_t lo = lay.local_of(i);
+        const index_t row = rows[static_cast<std::size_t>(i)];
+        for (index_t c = 0; c < m; ++c) {
+          x_out[c * n + row] = wv[static_cast<std::size_t>(c * nloc + lo)];
+        }
+      }
+
+      // Send each child the values its below-part positions need.
+      for (index_t c : children_[static_cast<std::size_t>(s)]) {
+        const ChildRouting& cr = routing_[static_cast<std::size_t>(c)];
+        const Layout clay = layout_of(ctx, c);
+        const simpar::Group cg = map_.group[static_cast<std::size_t>(c)];
+        std::map<index_t, RhsPacket> buckets;
+        const index_t cbelow = clay.ns - clay.t;
+        for (index_t k = 0; k < cbelow; ++k) {
+          const index_t ppos = cr.parent_pos[static_cast<std::size_t>(k)];
+          if (lay.owner_of(ppos) != r) continue;
+          const index_t cpos = clay.t + k;
+          const index_t dst = cg.base + clay.owner_of(cpos);
+          const index_t lo = lay.local_of(ppos);
+          if (dst == w) {
+            auto& cv = ensure_buffer(ctx, bufs, c, w - cg.base, y_in, n);
+            const index_t cnloc = clay.local_count(w - cg.base);
+            const index_t clo = clay.local_of(cpos);
+            for (index_t col = 0; col < m; ++col) {
+              cv[static_cast<std::size_t>(col * cnloc + clo)] =
+                  wv[static_cast<std::size_t>(col * nloc + lo)];
+            }
+            proc.compute_at(static_cast<double>(m), proc.cost().t_mem);
+          } else {
+            RhsPacket& pkt = buckets[dst];
+            pkt.positions.push_back(cpos);
+            for (index_t col = 0; col < m; ++col) {
+              pkt.values.push_back(
+                  wv[static_cast<std::size_t>(col * nloc + lo)]);
+            }
+          }
+        }
+        for (auto& [dst, pkt] : buckets) {
+          proc.send(dst, tag_bw_copy(c), pack_rhs(pkt, m));
+        }
+      }
+      bufs.erase(s);
+    }
+  };
+
+  PhaseReport report;
+  report.stats = machine.run(spmd);
+  return report;
+}
+
+std::pair<PhaseReport, PhaseReport> DistributedTrisolver::solve(
+    simpar::Machine& machine, std::span<const real_t> b_in,
+    std::span<real_t> x_out, index_t m) const {
+  const index_t n = factor_.partition().n();
+  std::vector<real_t> y(static_cast<std::size_t>(n * m), 0.0);
+  PhaseReport fw = forward(machine, b_in, y, m);
+  PhaseReport bw = backward(machine, y, x_out, m);
+  return {fw, bw};
+}
+
+}  // namespace sparts::partrisolve

@@ -1,0 +1,109 @@
+// The paper's contribution: parallel pipelined forward elimination and
+// backward substitution for supernodal sparse triangular systems on a
+// distributed-memory machine (paper §2).
+//
+// Structure of the computation:
+//   * The supernodal elimination tree is mapped subtree-to-subcube: each
+//     supernode is owned by a group (subcube) of processors; sequential
+//     subtrees run entirely on one processor.
+//   * A supernode shared by q processors is distributed 1-D row-wise
+//     block-cyclic with block size b and processed with the pipelined
+//     algorithm of Figs. 3-4: solved sub-vectors of size b x m circulate
+//     around the group's ring while each processor updates its own block
+//     rows (column-priority) or block rows in row order (row-priority).
+//   * Between a supernode and its parent, right-hand-side fragments are
+//     routed point-to-point from each fragment's owner to the owner of the
+//     corresponding position in the parent's distribution.
+//
+// Forward elimination walks the tree bottom-up producing Y (L Y = B);
+// backward substitution walks top-down producing X (L^T X = Y).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+#include "mapping/subtree_to_subcube.hpp"
+#include "numeric/supernodal_factor.hpp"
+#include "partrisolve/dist_factor.hpp"
+#include "simpar/machine.hpp"
+
+namespace sparts::partrisolve {
+
+/// Pipelining variant for the shared-supernode kernels.
+enum class Pipelining {
+  column_priority,  ///< finish a column's updates before the next (Fig 3c)
+  row_priority,     ///< finish a row before moving to the next (Fig 3b)
+  fan_out,          ///< no pipeline: broadcast each solved block to the
+                    ///< whole group (the naive alternative the paper's
+                    ///< ring pipeline improves on; ablation baseline)
+};
+
+struct Options {
+  index_t block_size = 8;  ///< b of the block-cyclic mapping
+  Pipelining pipelining = Pipelining::column_priority;
+};
+
+/// Result of one distributed solve phase.
+struct PhaseReport {
+  simpar::RunStats stats;
+  double time() const { return stats.parallel_time(); }
+};
+
+/// Distributed triangular solver bound to a factor and a processor mapping.
+///
+/// The factor's numeric blocks are shared read-only across the virtual
+/// processors (the factor is already distributed conformally after
+/// factorization + redistribution; see redist/).  Right-hand-side data
+/// flows through explicit simulated messages.
+class DistributedTrisolver {
+ public:
+  DistributedTrisolver(const numeric::SupernodalFactor& factor,
+                       const mapping::SubcubeMapping& map, Options options);
+
+  /// Strict-distribution variant: L values are read from each rank's
+  /// private packed storage (`local_values`, e.g. produced by the 2-D ->
+  /// 1-D redistribution) instead of the shared factor.  `factor` still
+  /// provides the symbolic structure.  `local_values` must outlive the
+  /// solver and match options.block_size.
+  DistributedTrisolver(const numeric::SupernodalFactor& factor,
+                       const DistributedFactor* local_values,
+                       const mapping::SubcubeMapping& map, Options options);
+
+  /// Solve L Y = B on `machine` (machine.nprocs() must equal map.p).
+  /// `b_in` is n x m column-major; `y_out` receives Y.
+  PhaseReport forward(simpar::Machine& machine, std::span<const real_t> b_in,
+                      std::span<real_t> y_out, index_t m) const;
+
+  /// Solve L^T X = Y; `y_in` from forward(), `x_out` receives X.
+  PhaseReport backward(simpar::Machine& machine, std::span<const real_t> y_in,
+                       std::span<real_t> x_out, index_t m) const;
+
+  /// Convenience: forward then backward on the same machine.
+  /// Returns {forward, backward} reports.
+  std::pair<PhaseReport, PhaseReport> solve(simpar::Machine& machine,
+                                            std::span<const real_t> b_in,
+                                            std::span<real_t> x_out,
+                                            index_t m) const;
+
+  const Options& options() const { return options_; }
+
+ private:
+  struct ChildRouting {
+    /// For below-position k of child c (0-based), the position of that row
+    /// inside the parent's trapezoid.
+    std::vector<index_t> parent_pos;
+    /// Unique (child_world_rank, parent_world_rank) communication pairs,
+    /// ascending.  Pairs with equal src and dst (local hand-off) excluded.
+    std::vector<std::pair<index_t, index_t>> pairs;
+  };
+
+  const numeric::SupernodalFactor& factor_;
+  const DistributedFactor* local_values_ = nullptr;
+  const mapping::SubcubeMapping& map_;
+  Options options_;
+  std::vector<std::vector<index_t>> children_;  ///< per supernode
+  std::vector<ChildRouting> routing_;           ///< per supernode (to parent)
+};
+
+}  // namespace sparts::partrisolve

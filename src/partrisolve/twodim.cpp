@@ -1,0 +1,641 @@
+#include "partrisolve/twodim.hpp"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "common/error.hpp"
+#include "dense/kernels.hpp"
+#include "mapping/block_cyclic.hpp"
+#include "ordering/etree.hpp"
+#include "partrisolve/layout.hpp"
+#include "partrisolve/packets.hpp"
+#include "simpar/collectives.hpp"
+
+namespace sparts::partrisolve {
+
+namespace {
+
+int tag_fw_contrib(index_t s) { return static_cast<int>(16 * s + 0); }
+int tag_fw_reduce(index_t s) { return static_cast<int>(16 * s + 1); }
+int tag_fw_bcast(index_t s) { return static_cast<int>(16 * s + 2); }
+int tag_fw_store(index_t s) { return static_cast<int>(16 * s + 3); }
+int tag_bw_copy(index_t s) { return static_cast<int>(16 * s + 4); }
+int tag_bw_wrow(index_t s) { return static_cast<int>(16 * s + 5); }
+int tag_bw_reduce(index_t s) { return static_cast<int>(16 * s + 6); }
+int tag_bw_bcast(index_t s) { return static_cast<int>(16 * s + 7); }
+int tag_bw_store(index_t s) { return static_cast<int>(16 * s + 8); }
+
+/// Per-supernode 2-D geometry.  The RHS fragment lives on grid column 0,
+/// rows distributed by grid row; the trapezoid entry (i, k) lives on grid
+/// processor (row_owner(i), col_owner(k)).
+struct Geo {
+  simpar::Group group;
+  mapping::BlockCyclic2d grid;
+  Layout rows;  ///< q = qr over positions
+  Layout cols;  ///< q = qc over positions (pivot columns only matter)
+
+  index_t qr() const { return grid.qr; }
+  index_t qc() const { return grid.qc; }
+  index_t gr_of(index_t w) const { return group.local(w) / qc(); }
+  index_t gc_of(index_t w) const { return group.local(w) % qc(); }
+  index_t world(index_t gr, index_t gc) const {
+    return group.world(gr * qc() + gc);
+  }
+  /// World rank of the fragment owner of position i.
+  index_t frag_owner(index_t i) const { return world(rows.owner_of(i), 0); }
+};
+
+Geo make_geo(const simpar::Group& g, index_t ns, index_t t, index_t b2) {
+  Geo geo;
+  geo.group = g;
+  geo.grid = mapping::BlockCyclic2d::near_square(g.count, b2);
+  geo.rows = Layout{geo.grid.qr, b2, ns, t};
+  geo.cols = Layout{geo.grid.qc, b2, ns, t};
+  return geo;
+}
+
+using BufferMap = std::unordered_map<index_t, std::vector<real_t>>;
+
+struct Ctx {
+  const numeric::SupernodalFactor& factor;
+  const mapping::SubcubeMapping& map;
+  index_t b2;
+  index_t m;
+  std::vector<std::vector<index_t>> children;
+  /// Per supernode: position of each below row inside the parent.
+  std::vector<std::vector<index_t>> parent_pos;
+};
+
+Ctx make_ctx(const numeric::SupernodalFactor& factor,
+             const mapping::SubcubeMapping& map, index_t b2, index_t m) {
+  Ctx ctx{factor, map, b2, m, ordering::tree_children(
+                                  factor.partition().stree),
+          {}};
+  const auto& part = factor.partition();
+  ctx.parent_pos.resize(static_cast<std::size_t>(part.num_supernodes()));
+  for (index_t s = 0; s < part.num_supernodes(); ++s) {
+    const index_t parent = part.stree.parent[static_cast<std::size_t>(s)];
+    if (parent == -1) continue;
+    const auto rows = part.row_indices(s);
+    const auto prows = part.row_indices(parent);
+    const index_t t = part.width(s);
+    auto& pp = ctx.parent_pos[static_cast<std::size_t>(s)];
+    pp.resize(rows.size() - static_cast<std::size_t>(t));
+    for (std::size_t k = 0; k < pp.size(); ++k) {
+      const auto it = std::lower_bound(prows.begin(), prows.end(),
+                                       rows[static_cast<std::size_t>(t) + k]);
+      SPARTS_CHECK(it != prows.end());
+      pp[k] = static_cast<index_t>(it - prows.begin());
+    }
+  }
+  return ctx;
+}
+
+/// Fragment helper: the packed rows rank w (a grid-column-0 rank) owns.
+std::vector<real_t>& ensure_fragment(const Ctx& ctx, BufferMap& bufs,
+                                     index_t s, const Geo& geo, index_t gr,
+                                     std::span<const real_t> source,
+                                     index_t n) {
+  auto it = bufs.find(s);
+  if (it != bufs.end()) return it->second;
+  const auto& part = ctx.factor.partition();
+  const index_t nloc = geo.rows.local_count(gr);
+  auto& v = bufs[s];
+  v.assign(static_cast<std::size_t>(nloc * ctx.m), 0.0);
+  const auto rows = part.row_indices(s);
+  for (index_t i = 0; i < geo.rows.t; ++i) {
+    if (geo.rows.owner_of(i) != gr) continue;
+    const index_t lo = geo.rows.local_of(i);
+    for (index_t c = 0; c < ctx.m; ++c) {
+      v[static_cast<std::size_t>(c * nloc + lo)] =
+          source[c * n + rows[static_cast<std::size_t>(i)]];
+    }
+  }
+  return v;
+}
+
+}  // namespace
+
+std::pair<PhaseReport, PhaseReport> solve_two_dim(
+    simpar::Machine& machine, const numeric::SupernodalFactor& factor,
+    const mapping::SubcubeMapping& map, std::span<const real_t> b_in,
+    std::span<real_t> x_out, index_t m, const TwoDimOptions& options) {
+  const auto& part = factor.partition();
+  const index_t n = part.n();
+  SPARTS_CHECK(machine.nprocs() == map.p);
+  SPARTS_CHECK(static_cast<index_t>(b_in.size()) == n * m);
+  SPARTS_CHECK(static_cast<index_t>(x_out.size()) == n * m);
+  const Ctx ctx = make_ctx(factor, map, options.block_2d, m);
+  const index_t nsup = part.num_supernodes();
+  std::vector<real_t> y(static_cast<std::size_t>(n * m), 0.0);
+
+  // -------------------------------------------------------------------
+  // Forward elimination.
+  // -------------------------------------------------------------------
+  std::vector<BufferMap> rank_bufs(static_cast<std::size_t>(map.p));
+  auto fw = [&](simpar::Proc& proc) {
+    const index_t w = proc.rank();
+    BufferMap& bufs = rank_bufs[static_cast<std::size_t>(w)];
+    for (index_t s = 0; s < nsup; ++s) {
+      const simpar::Group g = map.group[static_cast<std::size_t>(s)];
+      if (!g.contains(w)) continue;
+      const index_t t = part.width(s);
+      const index_t ns = part.height(s);
+      const Geo geo = make_geo(g, ns, t, ctx.b2);
+      const index_t gr = geo.gr_of(w);
+      const index_t gc = geo.gc_of(w);
+      const auto lblock = factor.block(s);
+      const index_t tb = geo.rows.num_pivot_blocks();
+
+      // Fragment assembly on grid column 0 (receive child contributions).
+      if (gc == 0) {
+        auto& v = ensure_fragment(ctx, bufs, s, geo, gr, b_in, n);
+        const index_t nloc = geo.rows.local_count(gr);
+        for (index_t c : ctx.children[static_cast<std::size_t>(s)]) {
+          const simpar::Group cg = map.group[static_cast<std::size_t>(c)];
+          const Geo cgeo = make_geo(cg, part.height(c), part.width(c),
+                                    ctx.b2);
+          const auto& pp = ctx.parent_pos[static_cast<std::size_t>(c)];
+          // Expected senders: child fragment owners with >= 1 row for me.
+          std::map<index_t, int> senders;
+          for (std::size_t k = 0; k < pp.size(); ++k) {
+            const index_t src = cgeo.frag_owner(part.width(c) +
+                                                static_cast<index_t>(k));
+            if (geo.frag_owner(pp[k]) == w) senders[src] = 1;
+          }
+          for (auto& [src, unused] : senders) {
+            (void)unused;
+            if (src == w) continue;  // handled locally at send time
+            auto msg = proc.recv(src, tag_fw_contrib(c));
+            RhsPacket pkt = unpack_rhs(msg.payload, m);
+            for (std::size_t z = 0; z < pkt.positions.size(); ++z) {
+              const index_t lo = geo.rows.local_of(pkt.positions[z]);
+              for (index_t col = 0; col < m; ++col) {
+                v[static_cast<std::size_t>(col * nloc + lo)] +=
+                    pkt.values[z * static_cast<std::size_t>(m) +
+                               static_cast<std::size_t>(col)];
+              }
+            }
+            proc.compute_at(static_cast<double>(pkt.positions.size() * m),
+                            proc.cost().t_mem);
+          }
+        }
+      }
+
+      // Solved pivot blocks this rank has seen (by column ownership).
+      std::vector<std::vector<real_t>> xk(static_cast<std::size_t>(tb));
+
+      const simpar::Group row_group{g.base + gr * geo.qc(), geo.qc(), 1};
+      const simpar::Group col_group{g.base + gc, geo.qr(), geo.qc()};
+
+      for (index_t k = 0; k < tb; ++k) {
+        const index_t c0 = geo.rows.col_begin(k);
+        const index_t c1 = geo.rows.col_end(k);
+        const index_t bk = c1 - c0;
+        const index_t owner_r = geo.rows.owner_of(c0);
+        const index_t owner_c = geo.cols.owner_of(c0);
+
+        if (gr == owner_r) {
+          // Partial sums of my column blocks J < k against row block k.
+          std::vector<real_t> acc(static_cast<std::size_t>(bk * m), 0.0);
+          for (index_t j = gc; j < k; j += geo.qc()) {
+            if (xk[static_cast<std::size_t>(j)].empty()) continue;
+            const index_t j0 = geo.rows.col_begin(j);
+            const index_t bj = geo.rows.col_end(j) - j0;
+            dense::panel_gemm(bk, m, bj, 1.0, lblock.data() + j0 * ns + c0,
+                              ns, xk[static_cast<std::size_t>(j)].data(), bj,
+                              acc.data(), bk);
+            proc.compute_at(
+                static_cast<double>(dense::gemm_flops(bk, m, bj)),
+                proc.cost().panel_flop(m));
+          }
+          // Grid column 0 contributes -V_K so the reduction yields
+          // (sum L x) - V directly.
+          if (gc == 0) {
+            auto& v = bufs.at(s);
+            const index_t nloc = geo.rows.local_count(gr);
+            const index_t lo = geo.rows.local_of(c0);
+            for (index_t c = 0; c < m; ++c) {
+              for (index_t i = 0; i < bk; ++i) {
+                acc[static_cast<std::size_t>(c * bk + i)] -=
+                    v[static_cast<std::size_t>(c * nloc + lo + i)];
+              }
+            }
+            proc.compute_at(static_cast<double>(bk * m), proc.cost().t_mem);
+          }
+          simpar::reduce_sum_to(proc, row_group, owner_c, acc,
+                                tag_fw_reduce(s));
+          if (gc == owner_c) {
+            // x_K = L(KK)^{-1} (V_K - sum) = L(KK)^{-1} (-acc).
+            for (auto& val : acc) val = -val;
+            proc.compute_at(static_cast<double>(dense::panel_trsm_lower(
+                                bk, m, lblock.data() + c0 * ns + c0, ns,
+                                acc.data(), bk)),
+                            proc.cost().panel_flop(m));
+            xk[static_cast<std::size_t>(k)] = acc;
+            // Store solved values back on the fragment owner.
+            if (owner_c != 0) {
+              proc.send_values<real_t>(geo.world(gr, 0), tag_fw_store(s),
+                                       acc);
+            } else {
+              auto& v = bufs.at(s);
+              const index_t nloc = geo.rows.local_count(gr);
+              const index_t lo = geo.rows.local_of(c0);
+              for (index_t c = 0; c < m; ++c) {
+                for (index_t i = 0; i < bk; ++i) {
+                  v[static_cast<std::size_t>(c * nloc + lo + i)] =
+                      acc[static_cast<std::size_t>(c * bk + i)];
+                }
+              }
+            }
+          }
+          if (gc == 0 && owner_c != 0) {
+            auto solved = proc.recv_values<real_t>(geo.world(gr, owner_c),
+                                                   tag_fw_store(s));
+            auto& v = bufs.at(s);
+            const index_t nloc = geo.rows.local_count(gr);
+            const index_t lo = geo.rows.local_of(c0);
+            for (index_t c = 0; c < m; ++c) {
+              for (index_t i = 0; i < bk; ++i) {
+                v[static_cast<std::size_t>(c * nloc + lo + i)] =
+                    solved[static_cast<std::size_t>(c * bk + i)];
+              }
+            }
+          }
+        }
+        // Broadcast x_K down grid column owner_c so every future row-block
+        // owner in that column can apply it.
+        if (gc == owner_c) {
+          std::vector<real_t> token;
+          if (gr == owner_r) token = xk[static_cast<std::size_t>(k)];
+          simpar::broadcast_from(proc, col_group, owner_r, token,
+                                 tag_fw_bcast(s));
+          xk[static_cast<std::size_t>(k)] = std::move(token);
+        }
+      }
+
+      // Below-part rows (the mixed tail of the last pivot block first,
+      // then the full below blocks): partial sums per segment, reduced to
+      // the fragment owner, subtracted, then routed to the parent.
+      const index_t parent = part.stree.parent[static_cast<std::size_t>(s)];
+      std::vector<std::pair<index_t, index_t>> below_segments;
+      if (tb > 0 && geo.rows.block_end(tb - 1) > t) {
+        below_segments.emplace_back(t, geo.rows.block_end(tb - 1));
+      }
+      for (index_t ib = tb; ib < geo.rows.num_blocks(); ++ib) {
+        below_segments.emplace_back(geo.rows.block_begin(ib),
+                                    geo.rows.block_end(ib));
+      }
+      for (const auto& [i0, i1] : below_segments) {
+        const index_t len = i1 - i0;
+        if (geo.rows.owner_of(i0) != gr) continue;
+        std::vector<real_t> acc(static_cast<std::size_t>(len * m), 0.0);
+        for (index_t j = gc; j < tb; j += geo.qc()) {
+          if (xk[static_cast<std::size_t>(j)].empty()) continue;
+          const index_t j0 = geo.rows.col_begin(j);
+          const index_t bj = geo.rows.col_end(j) - j0;
+          dense::panel_gemm(len, m, bj, 1.0, lblock.data() + j0 * ns + i0,
+                            ns, xk[static_cast<std::size_t>(j)].data(), bj,
+                            acc.data(), len);
+          proc.compute_at(static_cast<double>(dense::gemm_flops(len, m, bj)),
+                          proc.cost().panel_flop(m));
+        }
+        simpar::reduce_sum_to(proc, row_group, 0, acc, tag_fw_reduce(s));
+        if (gc == 0) {
+          auto& v = bufs.at(s);
+          const index_t nloc = geo.rows.local_count(gr);
+          const index_t lo = geo.rows.local_of(i0);
+          for (index_t c = 0; c < m; ++c) {
+            for (index_t i = 0; i < len; ++i) {
+              v[static_cast<std::size_t>(c * nloc + lo + i)] -=
+                  acc[static_cast<std::size_t>(c * len + i)];
+            }
+          }
+          proc.compute_at(static_cast<double>(len * m), proc.cost().t_mem);
+        }
+      }
+
+      if (gc == 0) {
+        // Publish Y and route the tail to the parent fragment owners.
+        auto& v = bufs.at(s);
+        const index_t nloc = geo.rows.local_count(gr);
+        const auto rows = part.row_indices(s);
+        for (index_t i = 0; i < t; ++i) {
+          if (geo.rows.owner_of(i) != gr) continue;
+          const index_t lo = geo.rows.local_of(i);
+          for (index_t c = 0; c < m; ++c) {
+            y[static_cast<std::size_t>(
+                c * n + rows[static_cast<std::size_t>(i)])] =
+                v[static_cast<std::size_t>(c * nloc + lo)];
+          }
+        }
+        if (parent != -1) {
+          const Geo pgeo = make_geo(
+              map.group[static_cast<std::size_t>(parent)],
+              part.height(parent), part.width(parent), ctx.b2);
+          const auto& pp = ctx.parent_pos[static_cast<std::size_t>(s)];
+          std::map<index_t, RhsPacket> buckets;
+          for (std::size_t z = 0; z < pp.size(); ++z) {
+            const index_t pos = t + static_cast<index_t>(z);
+            if (geo.rows.owner_of(pos) != gr) continue;
+            const index_t dst = pgeo.frag_owner(pp[z]);
+            const index_t lo = geo.rows.local_of(pos);
+            if (dst == w) {
+              auto& pv = ensure_fragment(ctx, bufs, parent, pgeo,
+                                         pgeo.gr_of(w), b_in, n);
+              const index_t pnloc = pgeo.rows.local_count(pgeo.gr_of(w));
+              const index_t plo = pgeo.rows.local_of(pp[z]);
+              for (index_t c = 0; c < m; ++c) {
+                // The fragment holds V; the contribution is -L x, and the
+                // below part of v currently stores V - sum(Lx) minus B?  It
+                // stores accumulated (0 - sum) + incoming B?  The below
+                // entries started at zero and accumulated -sum(Lx); they
+                // add into the parent fragment directly.
+                pv[static_cast<std::size_t>(c * pnloc + plo)] +=
+                    v[static_cast<std::size_t>(c * nloc + lo)];
+              }
+              proc.compute_at(static_cast<double>(m), proc.cost().t_mem);
+            } else {
+              RhsPacket& pkt = buckets[dst];
+              pkt.positions.push_back(pp[z]);
+              for (index_t c = 0; c < m; ++c) {
+                pkt.values.push_back(
+                    v[static_cast<std::size_t>(c * nloc + lo)]);
+              }
+            }
+          }
+          for (auto& [dst, pkt] : buckets) {
+            proc.send(dst, tag_fw_contrib(s), pack_rhs(pkt, m));
+          }
+        }
+        bufs.erase(s);
+      }
+    }
+  };
+
+  PhaseReport fw_report;
+  fw_report.stats = machine.run(fw);
+
+  // -------------------------------------------------------------------
+  // Backward substitution.
+  // -------------------------------------------------------------------
+  std::vector<BufferMap> bw_bufs(static_cast<std::size_t>(map.p));
+  auto bw = [&](simpar::Proc& proc) {
+    const index_t w = proc.rank();
+    BufferMap& bufs = bw_bufs[static_cast<std::size_t>(w)];
+    for (index_t s = nsup - 1; s >= 0; --s) {
+      const simpar::Group g = map.group[static_cast<std::size_t>(s)];
+      if (!g.contains(w)) continue;
+      const index_t t = part.width(s);
+      const index_t ns = part.height(s);
+      const Geo geo = make_geo(g, ns, t, ctx.b2);
+      const index_t gr = geo.gr_of(w);
+      const index_t gc = geo.gc_of(w);
+      const auto lblock = factor.block(s);
+      const index_t tb = geo.rows.num_pivot_blocks();
+      const index_t nb = geo.rows.num_blocks();
+      const simpar::Group row_group{g.base + gr * geo.qc(), geo.qc(), 1};
+      const simpar::Group col_group{g.base + gc, geo.qr(), geo.qc()};
+
+      // Fragment on grid column 0: pivot rows from Y, below rows from the
+      // parent.
+      if (gc == 0) {
+        auto& wv = ensure_fragment(ctx, bufs, s, geo, gr, y, n);
+        const index_t nloc = geo.rows.local_count(gr);
+        const index_t parent =
+            part.stree.parent[static_cast<std::size_t>(s)];
+        if (parent != -1) {
+          const Geo pgeo = make_geo(
+              map.group[static_cast<std::size_t>(parent)],
+              part.height(parent), part.width(parent), ctx.b2);
+          const auto& pp = ctx.parent_pos[static_cast<std::size_t>(s)];
+          std::map<index_t, int> senders;
+          for (std::size_t z = 0; z < pp.size(); ++z) {
+            if (geo.frag_owner(t + static_cast<index_t>(z)) != w) continue;
+            senders[pgeo.frag_owner(pp[z])] = 1;
+          }
+          for (auto& [src, unused] : senders) {
+            (void)unused;
+            if (src == w) continue;
+            auto msg = proc.recv(src, tag_bw_copy(s));
+            RhsPacket pkt = unpack_rhs(msg.payload, m);
+            for (std::size_t z = 0; z < pkt.positions.size(); ++z) {
+              const index_t lo = geo.rows.local_of(pkt.positions[z]);
+              for (index_t col = 0; col < m; ++col) {
+                wv[static_cast<std::size_t>(col * nloc + lo)] =
+                    pkt.values[z * static_cast<std::size_t>(m) +
+                               static_cast<std::size_t>(col)];
+              }
+            }
+            proc.compute_at(static_cast<double>(pkt.positions.size() * m),
+                            proc.cost().t_mem);
+          }
+        }
+      }
+
+      // Broadcast every below segment's w-values along its grid row so the
+      // column owners can form L^T contributions.  Pivot blocks are
+      // broadcast later, as they are solved.  The mixed tail of the last
+      // pivot block (below rows sharing it when b does not divide t) is a
+      // separate piece.
+      std::vector<std::vector<real_t>> wrow(static_cast<std::size_t>(nb));
+      std::vector<real_t> wtail;
+      const index_t tail0 = t;
+      const index_t tail1 = tb > 0 ? geo.rows.block_end(tb - 1) : t;
+      auto broadcast_segment = [&](index_t i0, index_t len,
+                                   std::vector<real_t>& dest) {
+        if (geo.rows.owner_of(i0) != gr) return;
+        std::vector<real_t> vals;
+        if (gc == 0) {
+          auto& wv = bufs.at(s);
+          const index_t nloc = geo.rows.local_count(gr);
+          const index_t lo = geo.rows.local_of(i0);
+          vals.resize(static_cast<std::size_t>(len * m));
+          for (index_t c = 0; c < m; ++c) {
+            for (index_t i = 0; i < len; ++i) {
+              vals[static_cast<std::size_t>(c * len + i)] =
+                  wv[static_cast<std::size_t>(c * nloc + lo + i)];
+            }
+          }
+        }
+        simpar::broadcast_from(proc, row_group, 0, vals, tag_bw_wrow(s));
+        dest = std::move(vals);
+      };
+      if (tail1 > tail0) broadcast_segment(tail0, tail1 - tail0, wtail);
+      for (index_t ib = tb; ib < nb; ++ib) {
+        broadcast_segment(geo.rows.block_begin(ib),
+                          geo.rows.block_end(ib) - geo.rows.block_begin(ib),
+                          wrow[static_cast<std::size_t>(ib)]);
+      }
+
+      for (index_t k = tb - 1; k >= 0; --k) {
+        const index_t c0 = geo.rows.col_begin(k);
+        const index_t bk = geo.rows.col_end(k) - c0;
+        const index_t owner_r = geo.rows.owner_of(c0);
+        const index_t owner_c = geo.cols.owner_of(c0);
+
+        if (gc == owner_c) {
+          // Partial sums over my row blocks below k: L(I,k)^T w_I.
+          // Pivot-block pieces carry only their solved pivot rows; the
+          // mixed tail of the last pivot block is its own piece.
+          std::vector<real_t> acc(static_cast<std::size_t>(bk * m), 0.0);
+          for (index_t ib = gr; ib < nb; ib += geo.qr()) {
+            if (ib <= k) continue;
+            if (wrow[static_cast<std::size_t>(ib)].empty()) continue;
+            const index_t i0 = geo.rows.block_begin(ib);
+            const index_t len = ib < tb
+                                    ? geo.rows.col_end(ib) - i0
+                                    : geo.rows.block_end(ib) - i0;
+            dense::panel_gemm_at(bk, m, len, 1.0,
+                                 lblock.data() + c0 * ns + i0, ns,
+                                 wrow[static_cast<std::size_t>(ib)].data(),
+                                 len, acc.data(), bk);
+            proc.compute_at(
+                static_cast<double>(dense::gemm_flops(bk, m, len)),
+                proc.cost().panel_flop(m));
+          }
+          if (!wtail.empty() && geo.rows.owner_of(tail0) == gr) {
+            const index_t len = tail1 - tail0;
+            dense::panel_gemm_at(bk, m, len, 1.0,
+                                 lblock.data() + c0 * ns + tail0, ns,
+                                 wtail.data(), len, acc.data(), bk);
+            proc.compute_at(
+                static_cast<double>(dense::gemm_flops(bk, m, len)),
+                proc.cost().panel_flop(m));
+          }
+          simpar::reduce_sum_to(proc, col_group, owner_r, acc,
+                                tag_bw_reduce(s));
+          if (gr == owner_r) {
+            // Fetch W_K from the fragment owner, finish, store back.
+            std::vector<real_t> wk;
+            if (owner_c == 0) {
+              auto& wv = bufs.at(s);
+              const index_t nloc = geo.rows.local_count(gr);
+              const index_t lo = geo.rows.local_of(c0);
+              wk.resize(static_cast<std::size_t>(bk * m));
+              for (index_t c = 0; c < m; ++c) {
+                for (index_t i = 0; i < bk; ++i) {
+                  wk[static_cast<std::size_t>(c * bk + i)] =
+                      wv[static_cast<std::size_t>(c * nloc + lo + i)];
+                }
+              }
+            } else {
+              wk = proc.recv_values<real_t>(geo.world(gr, 0),
+                                            tag_bw_store(s));
+            }
+            for (std::size_t z = 0; z < wk.size(); ++z) wk[z] -= acc[z];
+            proc.compute_at(
+                static_cast<double>(dense::panel_trsm_lower_transposed(
+                    bk, m, lblock.data() + c0 * ns + c0, ns, wk.data(), bk)),
+                proc.cost().panel_flop(m));
+            wrow[static_cast<std::size_t>(k)] = wk;  // root of the row bcast
+            if (owner_c == 0) {
+              auto& wv = bufs.at(s);
+              const index_t nloc = geo.rows.local_count(gr);
+              const index_t lo = geo.rows.local_of(c0);
+              for (index_t c = 0; c < m; ++c) {
+                for (index_t i = 0; i < bk; ++i) {
+                  wv[static_cast<std::size_t>(c * nloc + lo + i)] =
+                      wk[static_cast<std::size_t>(c * bk + i)];
+                }
+              }
+            } else {
+              proc.send_values<real_t>(geo.world(gr, 0), tag_bw_store(s),
+                                       wk);
+            }
+          }
+        }
+        // Fragment owner side of the W_K exchange (when off column 0).
+        if (gc == 0 && owner_c != 0 && gr == owner_r) {
+          auto& wv = bufs.at(s);
+          const index_t nloc = geo.rows.local_count(gr);
+          const index_t lo = geo.rows.local_of(c0);
+          std::vector<real_t> wk(static_cast<std::size_t>(bk * m));
+          for (index_t c = 0; c < m; ++c) {
+            for (index_t i = 0; i < bk; ++i) {
+              wk[static_cast<std::size_t>(c * bk + i)] =
+                  wv[static_cast<std::size_t>(c * nloc + lo + i)];
+            }
+          }
+          proc.send_values<real_t>(geo.world(gr, owner_c), tag_bw_store(s),
+                                   wk);
+          auto solved = proc.recv_values<real_t>(geo.world(gr, owner_c),
+                                                 tag_bw_store(s));
+          for (index_t c = 0; c < m; ++c) {
+            for (index_t i = 0; i < bk; ++i) {
+              wv[static_cast<std::size_t>(c * nloc + lo + i)] =
+                  solved[static_cast<std::size_t>(c * bk + i)];
+            }
+          }
+        }
+        // Broadcast the solved pivot block along its grid row so smaller
+        // columns on this row can use it; the solver rank (the root) has
+        // it stashed in wrow[k].
+        if (gr == owner_r) {
+          std::vector<real_t> token = std::move(wrow[static_cast<std::size_t>(k)]);
+          simpar::broadcast_from(proc, row_group, owner_c, token,
+                                 tag_bw_bcast(s));
+          wrow[static_cast<std::size_t>(k)] = std::move(token);
+        }
+      }
+
+      // Publish X and send child copies from the fragment owners.
+      if (gc == 0) {
+        auto& wv = bufs.at(s);
+        const index_t nloc = geo.rows.local_count(gr);
+        const auto rows = part.row_indices(s);
+        for (index_t i = 0; i < t; ++i) {
+          if (geo.rows.owner_of(i) != gr) continue;
+          const index_t lo = geo.rows.local_of(i);
+          for (index_t c = 0; c < m; ++c) {
+            x_out[static_cast<std::size_t>(
+                c * n + rows[static_cast<std::size_t>(i)])] =
+                wv[static_cast<std::size_t>(c * nloc + lo)];
+          }
+        }
+        for (index_t c : ctx.children[static_cast<std::size_t>(s)]) {
+          const simpar::Group cg = map.group[static_cast<std::size_t>(c)];
+          const Geo cgeo = make_geo(cg, part.height(c), part.width(c),
+                                    ctx.b2);
+          const auto& pp = ctx.parent_pos[static_cast<std::size_t>(c)];
+          std::map<index_t, RhsPacket> buckets;
+          for (std::size_t z = 0; z < pp.size(); ++z) {
+            if (geo.frag_owner(pp[z]) != w) continue;
+            const index_t cpos = part.width(c) + static_cast<index_t>(z);
+            const index_t dst = cgeo.frag_owner(cpos);
+            const index_t lo = geo.rows.local_of(pp[z]);
+            if (dst == w) {
+              auto& cv = ensure_fragment(ctx, bufs, c, cgeo, cgeo.gr_of(w),
+                                         y, n);
+              const index_t cnloc = cgeo.rows.local_count(cgeo.gr_of(w));
+              const index_t clo = cgeo.rows.local_of(cpos);
+              for (index_t col = 0; col < m; ++col) {
+                cv[static_cast<std::size_t>(col * cnloc + clo)] =
+                    wv[static_cast<std::size_t>(col * nloc + lo)];
+              }
+            } else {
+              RhsPacket& pkt = buckets[dst];
+              pkt.positions.push_back(cpos);
+              for (index_t col = 0; col < m; ++col) {
+                pkt.values.push_back(
+                    wv[static_cast<std::size_t>(col * nloc + lo)]);
+              }
+            }
+          }
+          for (auto& [dst, pkt] : buckets) {
+            proc.send(dst, tag_bw_copy(c), pack_rhs(pkt, m));
+          }
+        }
+        bufs.erase(s);
+      }
+    }
+  };
+
+  PhaseReport bw_report;
+  bw_report.stats = machine.run(bw);
+  return {fw_report, bw_report};
+}
+
+}  // namespace sparts::partrisolve

@@ -1,0 +1,39 @@
+// Triangular solution with the factor left in its 2-D (factorization)
+// distribution — the configuration the paper's Figure 5 marks
+// "unscalable", implemented in full so the claim can be measured rather
+// than asserted.
+//
+// Each shared supernode keeps the 2-D block-cyclic layout parfact
+// produced: entry (i, k) of the trapezoid lives on grid processor
+// (row_owner(i), col_owner(k)).  Forward elimination is fan-in/fan-out
+// per pivot block: partial sums reduce along a grid row, the diagonal
+// owner solves, and the solved block broadcasts along its grid column.
+// Every pivot block therefore pays O(log q) startups that cannot pipeline
+// — the structural reason the 1-D pipelined algorithm (partrisolve.hpp)
+// wins, and the reason the 2-D -> 1-D redistribution exists.
+#pragma once
+
+#include <span>
+
+#include "common/types.hpp"
+#include "mapping/subtree_to_subcube.hpp"
+#include "numeric/supernodal_factor.hpp"
+#include "partrisolve/partrisolve.hpp"
+#include "simpar/machine.hpp"
+
+namespace sparts::partrisolve {
+
+struct TwoDimOptions {
+  index_t block_2d = 16;  ///< block size of the 2-D distribution
+};
+
+/// Forward + backward solve with 2-D-partitioned supernodes.
+/// `b_in` / `x_out` are n x m column-major.  Returns {forward, backward}
+/// phase reports.  Results equal the sequential solve (tested); only the
+/// costs differ from the 1-D solver.
+std::pair<PhaseReport, PhaseReport> solve_two_dim(
+    simpar::Machine& machine, const numeric::SupernodalFactor& factor,
+    const mapping::SubcubeMapping& map, std::span<const real_t> b_in,
+    std::span<real_t> x_out, index_t m, const TwoDimOptions& options = {});
+
+}  // namespace sparts::partrisolve

@@ -1,0 +1,50 @@
+// Conversion of the factor's data distribution between factorization and
+// triangular solution (paper §4, Fig. 6).
+//
+// Parallel factorization wants every shared supernode partitioned in two
+// dimensions (block-cyclic over a near-square processor grid); the
+// triangular solvers are only scalable with a one-dimensional row-wise
+// partitioning.  The conversion of one n x t supernode shared by q
+// processors is equivalent to transposing each (n/sqrt(q)) x t horizontal
+// slab among the sqrt(q) processors that share it — an all-to-all
+// personalized communication among q processors moving ~nt/q words per
+// processor.  The paper shows (and we measure) that this one-time cost is
+// a fraction of a single triangular solve.
+#pragma once
+
+#include "common/types.hpp"
+#include "mapping/subtree_to_subcube.hpp"
+#include "numeric/supernodal_factor.hpp"
+#include "partrisolve/dist_factor.hpp"
+#include "simpar/machine.hpp"
+
+namespace sparts::redist {
+
+struct Options {
+  index_t block_2d = 16;  ///< block size of the factorization distribution
+  index_t block_1d = 8;   ///< block size of the solver distribution
+};
+
+struct Report {
+  simpar::RunStats stats;
+  double time() const { return stats.parallel_time(); }
+};
+
+/// Simulate the 2-D -> 1-D conversion of every shared supernode of the
+/// factor.  Data movement is performed with the factor's real values and
+/// the routing is verified entry-by-entry on the receiving side (throws on
+/// any misrouted value).
+///
+/// If `out` is non-null it receives the rank-local 1-D factor storage,
+/// built from the *received* values for shared supernodes (sequential
+/// supernodes, which do not move, are packed locally) — pass it to
+/// DistributedTrisolver's strict constructor so the solver consumes
+/// exactly the data that traveled through the network.  The out storage
+/// uses block size options.block_1d.
+Report redistribute_factor(simpar::Machine& machine,
+                           const numeric::SupernodalFactor& factor,
+                           const mapping::SubcubeMapping& map,
+                           const Options& options = {},
+                           partrisolve::DistributedFactor* out = nullptr);
+
+}  // namespace sparts::redist

@@ -1,0 +1,319 @@
+#include "simpar/machine.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <thread>
+
+namespace sparts::simpar {
+
+// ---------------------------------------------------------------------------
+// RunStats
+// ---------------------------------------------------------------------------
+
+double RunStats::parallel_time() const {
+  double t = 0.0;
+  for (const auto& p : procs) t = std::max(t, p.clock);
+  return t;
+}
+
+nnz_t RunStats::total_flops() const {
+  nnz_t f = 0;
+  for (const auto& p : procs) f += p.flops;
+  return f;
+}
+
+nnz_t RunStats::total_messages() const {
+  nnz_t m = 0;
+  for (const auto& p : procs) m += p.messages_sent;
+  return m;
+}
+
+nnz_t RunStats::total_words() const {
+  nnz_t w = 0;
+  for (const auto& p : procs) w += p.words_sent;
+  return w;
+}
+
+double RunStats::efficiency() const {
+  const double tp = parallel_time();
+  if (tp <= 0.0 || procs.empty()) return 1.0;
+  double busy = 0.0;
+  for (const auto& p : procs) busy += p.compute_time;
+  return busy / (tp * static_cast<double>(procs.size()));
+}
+
+// ---------------------------------------------------------------------------
+// Proc forwarding
+// ---------------------------------------------------------------------------
+
+index_t Proc::nprocs() const { return machine_->nprocs(); }
+double Proc::now() const { return machine_->do_now(rank_); }
+void Proc::compute(double flops, FlopKind kind) {
+  machine_->do_compute(rank_, flops, kind);
+}
+void Proc::compute_at(double flops, double seconds_per_flop) {
+  machine_->do_compute_at(rank_, flops, seconds_per_flop);
+}
+void Proc::elapse(double seconds) { machine_->do_elapse(rank_, seconds); }
+void Proc::send(index_t dst, int tag, std::span<const std::byte> payload) {
+  machine_->do_send(rank_, dst, tag, payload);
+}
+ReceivedMessage Proc::recv(index_t src, int tag) {
+  return machine_->do_recv(rank_, src, tag);
+}
+const CostModel& Proc::cost() const { return machine_->cost(); }
+const Topology& Proc::topology() const { return machine_->topology(); }
+
+// ---------------------------------------------------------------------------
+// Machine
+// ---------------------------------------------------------------------------
+
+Machine::Machine(const Config& config)
+    : config_(config), topology_(config.topology, config.nprocs) {
+  SPARTS_CHECK(config.nprocs >= 1, "need at least one processor");
+}
+
+double Machine::do_now(index_t rank) const {
+  // Only the scheduled thread reads its own clock; no lock needed beyond
+  // the handoff discipline, but take it anyway for sanitizer cleanliness.
+  auto* self = const_cast<Machine*>(this);
+  std::unique_lock<std::mutex> lock(self->mutex_);
+  return procs_[static_cast<std::size_t>(rank)]->clock;
+}
+
+void Machine::do_compute(index_t rank, double flops, FlopKind kind) {
+  do_compute_at(rank, flops, config_.cost.per_flop(kind));
+}
+
+void Machine::do_compute_at(index_t rank, double flops, double per_flop) {
+  SPARTS_CHECK(flops >= 0.0);
+  std::unique_lock<std::mutex> lock(mutex_);
+  auto& pc = *procs_[static_cast<std::size_t>(rank)];
+  const double dt = flops * per_flop;
+  pc.clock += dt;
+  pc.stats.compute_time += dt;
+  pc.stats.flops += static_cast<nnz_t>(flops);
+}
+
+void Machine::do_elapse(index_t rank, double seconds) {
+  SPARTS_CHECK(seconds >= 0.0);
+  std::unique_lock<std::mutex> lock(mutex_);
+  auto& pc = *procs_[static_cast<std::size_t>(rank)];
+  pc.clock += seconds;
+  pc.stats.compute_time += seconds;
+}
+
+void Machine::do_send(index_t rank, index_t dst, int tag,
+                      std::span<const std::byte> payload) {
+  SPARTS_CHECK(dst >= 0 && dst < config_.nprocs,
+               "send destination " << dst << " out of range");
+  std::unique_lock<std::mutex> lock(mutex_);
+  auto& pc = *procs_[static_cast<std::size_t>(rank)];
+  const nnz_t words =
+      static_cast<nnz_t>((payload.size() + sizeof(real_t) - 1) /
+                         sizeof(real_t));
+  const double occupancy = config_.cost.send_occupancy(words);
+  const double arrival =
+      pc.clock + occupancy +
+      config_.cost.network_latency(topology_.hops(rank, dst));
+  pc.clock += occupancy;
+  pc.stats.send_time += occupancy;
+  ++pc.stats.messages_sent;
+  pc.stats.words_sent += words;
+
+  Message msg;
+  msg.src = rank;
+  msg.tag = tag;
+  msg.arrival = arrival;
+  msg.seq = send_seq_++;
+  msg.payload.assign(payload.begin(), payload.end());
+  procs_[static_cast<std::size_t>(dst)]->mailbox.push_back(std::move(msg));
+}
+
+std::ptrdiff_t Machine::find_match(const ProcControl& pc, index_t src,
+                                   int tag) const {
+  std::ptrdiff_t best = -1;
+  for (std::size_t i = 0; i < pc.mailbox.size(); ++i) {
+    const Message& m = pc.mailbox[i];
+    if (m.tag != tag) continue;
+    if (src != kAnySource && m.src != src) continue;
+    if (best == -1) {
+      best = static_cast<std::ptrdiff_t>(i);
+      continue;
+    }
+    const Message& b = pc.mailbox[static_cast<std::size_t>(best)];
+    if (m.arrival < b.arrival ||
+        (m.arrival == b.arrival &&
+         (m.src < b.src || (m.src == b.src && m.seq < b.seq)))) {
+      best = static_cast<std::ptrdiff_t>(i);
+    }
+  }
+  return best;
+}
+
+ReceivedMessage Machine::do_recv(index_t rank, index_t src, int tag) {
+  SPARTS_CHECK(src == kAnySource || (src >= 0 && src < config_.nprocs),
+               "recv source " << src << " out of range");
+  std::unique_lock<std::mutex> lock(mutex_);
+  auto& pc = *procs_[static_cast<std::size_t>(rank)];
+
+  // Always yield: the scheduler alone decides when it is causally safe to
+  // consume a message (see header comment).
+  pc.status = Status::blocked;
+  pc.want_src = src;
+  pc.want_tag = tag;
+  pc.scheduled = false;
+  schedule_next(lock);
+  pc.cv.wait(lock, [&pc] { return pc.scheduled; });
+
+  const std::ptrdiff_t idx = find_match(pc, src, tag);
+  if (idx < 0) {
+    SPARTS_CHECK(deadlock_, "scheduled a blocked rank without a match");
+    throw DeadlockError(
+        "simulated machine deadlock: rank " + std::to_string(rank) +
+        " waits for src=" + std::to_string(src) +
+        " tag=" + std::to_string(tag) + " but no sender can make progress");
+  }
+  Message msg = std::move(pc.mailbox[static_cast<std::size_t>(idx)]);
+  pc.mailbox.erase(pc.mailbox.begin() + idx);
+  const double old_clock = pc.clock;
+  pc.clock = std::max(pc.clock, msg.arrival);
+  pc.stats.idle_time += pc.clock - old_clock;
+  pc.status = Status::ready;
+  return ReceivedMessage{msg.src, msg.tag, std::move(msg.payload)};
+}
+
+bool Machine::schedule_next(std::unique_lock<std::mutex>&) {
+  // Pick the runnable rank with the smallest effective time (ties by rank).
+  index_t best = -1;
+  double best_time = 0.0;
+  bool any_unfinished = false;
+  for (index_t r = 0; r < config_.nprocs; ++r) {
+    ProcControl& pc = *procs_[static_cast<std::size_t>(r)];
+    if (pc.status == Status::done) continue;
+    any_unfinished = true;
+    double eff;
+    if (pc.status == Status::ready) {
+      eff = pc.clock;
+    } else {
+      const std::ptrdiff_t idx = find_match(pc, pc.want_src, pc.want_tag);
+      if (idx < 0) continue;
+      eff = std::max(pc.clock,
+                     pc.mailbox[static_cast<std::size_t>(idx)].arrival);
+    }
+    if (best == -1 || eff < best_time) {
+      best = r;
+      best_time = eff;
+    }
+  }
+
+  if (best != -1) {
+    ProcControl& pc = *procs_[static_cast<std::size_t>(best)];
+    pc.scheduled = true;
+    pc.cv.notify_one();
+    return true;
+  }
+  if (!any_unfinished) {
+    scheduler_cv_.notify_all();  // run() may finish
+    return false;
+  }
+  // Deadlock: wake one blocked rank so it can unwind with DeadlockError;
+  // its worker epilogue will call schedule_next again for the next one.
+  deadlock_ = true;
+  for (index_t r = 0; r < config_.nprocs; ++r) {
+    ProcControl& pc = *procs_[static_cast<std::size_t>(r)];
+    if (pc.status == Status::blocked) {
+      pc.scheduled = true;
+      pc.cv.notify_one();
+      return true;
+    }
+  }
+  scheduler_cv_.notify_all();
+  return false;
+}
+
+void Machine::yield_and_wait(index_t rank,
+                             std::unique_lock<std::mutex>& lock) {
+  auto& pc = *procs_[static_cast<std::size_t>(rank)];
+  pc.cv.wait(lock, [&pc] { return pc.scheduled; });
+}
+
+void Machine::worker(index_t rank, const std::function<void(Proc&)>& spmd) {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    yield_and_wait(rank, lock);
+  }
+  auto& pc = *procs_[static_cast<std::size_t>(rank)];
+  try {
+    Proc proc(this, rank);
+    spmd(proc);
+  } catch (...) {
+    pc.error = std::current_exception();
+  }
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    pc.status = Status::done;
+    pc.scheduled = false;
+    schedule_next(lock);
+  }
+}
+
+RunStats Machine::run(const std::function<void(Proc&)>& spmd) {
+  SPARTS_CHECK(!running_, "Machine::run is not reentrant");
+  running_ = true;
+  deadlock_ = false;
+  send_seq_ = 0;
+  procs_.clear();
+  procs_.reserve(static_cast<std::size_t>(config_.nprocs));
+  for (index_t r = 0; r < config_.nprocs; ++r) {
+    procs_.push_back(std::make_unique<ProcControl>());
+  }
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(config_.nprocs));
+  for (index_t r = 0; r < config_.nprocs; ++r) {
+    threads.emplace_back([this, r, &spmd] { worker(r, spmd); });
+  }
+
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    schedule_next(lock);  // hand the token to rank 0
+    scheduler_cv_.wait(lock, [this] {
+      return std::all_of(procs_.begin(), procs_.end(), [](const auto& pc) {
+        return pc->status == Status::done;
+      });
+    });
+  }
+  for (auto& t : threads) t.join();
+  running_ = false;
+
+  // Propagate the first user error (non-deadlock errors take priority, so
+  // the root cause surfaces instead of the secondary deadlocks it caused).
+  std::exception_ptr deadlock_error;
+  for (auto& pc : procs_) {
+    if (!pc->error) continue;
+    bool is_deadlock = false;
+    try {
+      std::rethrow_exception(pc->error);
+    } catch (const DeadlockError&) {
+      is_deadlock = true;
+    } catch (...) {
+    }
+    if (is_deadlock) {
+      if (!deadlock_error) deadlock_error = pc->error;
+    } else {
+      std::rethrow_exception(pc->error);
+    }
+  }
+  if (deadlock_error) std::rethrow_exception(deadlock_error);
+
+  RunStats stats;
+  stats.procs.reserve(procs_.size());
+  for (auto& pc : procs_) {
+    pc->stats.clock = pc->clock;
+    stats.procs.push_back(pc->stats);
+  }
+  return stats;
+}
+
+}  // namespace sparts::simpar

@@ -1,0 +1,233 @@
+// The simulated distributed-memory machine.
+//
+// Machine::run executes an SPMD function on p virtual processors.  Each
+// processor is a host thread, but a strict-handoff scheduler runs exactly
+// one at a time and always resumes the runnable processor with the smallest
+// "effective time" (its local clock, or for a processor blocked in recv the
+// arrival time of its earliest matching message).  This is a conservative
+// sequential discrete-event simulation: it is deterministic, causally
+// correct (no message can be created in another processor's past), and the
+// final per-processor clocks are exactly the parallel execution times of
+// the algorithm under the cost model.
+//
+// The API mirrors a minimal message-passing interface:
+//   proc.compute(flops, kind)          charge computation time
+//   proc.send(dst, tag, data)          blocking-send semantics with
+//                                      t_s + l*t_h + m*t_w cost
+//   proc.recv(src, tag)                blocking receive (src = kAnySource
+//                                      matches any sender)
+// plus typed span helpers.  Collectives are layered on top in
+// collectives.hpp.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+#include "simpar/cost_model.hpp"
+#include "simpar/topology.hpp"
+
+namespace sparts::simpar {
+
+/// Wildcard source rank for recv.
+inline constexpr index_t kAnySource = -1;
+
+/// Per-processor statistics, available after the run.
+struct ProcStats {
+  double clock = 0.0;         ///< local time at termination
+  double compute_time = 0.0;  ///< time spent in compute()
+  double send_time = 0.0;     ///< sender occupancy of send()
+  double idle_time = 0.0;     ///< time spent waiting in recv()
+  nnz_t flops = 0;
+  nnz_t messages_sent = 0;
+  nnz_t words_sent = 0;
+};
+
+/// Aggregated statistics of a run.
+struct RunStats {
+  std::vector<ProcStats> procs;
+
+  /// Parallel runtime: the maximum local clock.
+  double parallel_time() const;
+  /// Total flops across all processors.
+  nnz_t total_flops() const;
+  /// Total messages across all processors.
+  nnz_t total_messages() const;
+  /// Total words across all processors.
+  nnz_t total_words() const;
+  /// sum(compute_time) / (p * parallel_time)
+  double efficiency() const;
+};
+
+/// A received message.
+struct ReceivedMessage {
+  index_t source = -1;
+  int tag = 0;
+  std::vector<std::byte> payload;
+};
+
+class Machine;
+
+/// Handle through which SPMD code interacts with its virtual processor.
+/// Only valid inside Machine::run.
+class Proc {
+ public:
+  index_t rank() const { return rank_; }
+  index_t nprocs() const;
+
+  /// Local simulated time.
+  double now() const;
+
+  /// Advance the local clock by `flops * t_c(kind)`.
+  void compute(double flops, FlopKind kind = FlopKind::blas1);
+
+  /// Advance the local clock by `flops` at an explicit per-flop cost (used
+  /// for the BLAS-2/3 interpolation on multi-RHS panels).
+  void compute_at(double flops, double seconds_per_flop);
+
+  /// Advance the local clock by raw seconds (e.g. fixed overheads).
+  void elapse(double seconds);
+
+  /// Send `payload` to `dst` with `tag`.  The local clock advances by the
+  /// sender occupancy; the message arrives at
+  /// send_start + t_s + hops*t_h + words*t_w.
+  void send(index_t dst, int tag, std::span<const std::byte> payload);
+
+  /// Typed helper: send a span of trivially copyable values.
+  template <typename T>
+  void send_values(index_t dst, int tag, std::span<const T> values) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    send(dst, tag,
+         {reinterpret_cast<const std::byte*>(values.data()),
+          values.size() * sizeof(T)});
+  }
+
+  /// Typed helper: send a single value.
+  template <typename T>
+  void send_value(index_t dst, int tag, const T& value) {
+    send_values<T>(dst, tag, {&value, 1});
+  }
+
+  /// Blocking receive.  `src` may be kAnySource.  The local clock becomes
+  /// max(clock, arrival time of the matched message).
+  ReceivedMessage recv(index_t src, int tag);
+
+  /// Typed helper: receive a vector of trivially copyable values.
+  template <typename T>
+  std::vector<T> recv_values(index_t src, int tag) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    ReceivedMessage msg = recv(src, tag);
+    SPARTS_CHECK(msg.payload.size() % sizeof(T) == 0,
+                 "payload size not a multiple of the element size");
+    std::vector<T> out(msg.payload.size() / sizeof(T));
+    std::memcpy(out.data(), msg.payload.data(), msg.payload.size());
+    return out;
+  }
+
+  /// Typed helper: receive exactly one value.
+  template <typename T>
+  T recv_value(index_t src, int tag) {
+    auto v = recv_values<T>(src, tag);
+    SPARTS_CHECK(v.size() == 1, "expected a single value");
+    return v[0];
+  }
+
+  const CostModel& cost() const;
+  const Topology& topology() const;
+
+ private:
+  friend class Machine;
+  Proc(Machine* machine, index_t rank) : machine_(machine), rank_(rank) {}
+  Machine* machine_;
+  index_t rank_;
+};
+
+class Machine {
+ public:
+  struct Config {
+    index_t nprocs = 1;
+    CostModel cost{};
+    TopologyKind topology = TopologyKind::hypercube;
+  };
+
+  explicit Machine(const Config& config);
+
+  /// Run `spmd` on every rank to completion; returns per-rank statistics.
+  /// Rethrows the first exception thrown by user code (by rank order).
+  /// Throws DeadlockError if every unfinished rank blocks in recv forever.
+  RunStats run(const std::function<void(Proc&)>& spmd);
+
+  index_t nprocs() const { return config_.nprocs; }
+  const CostModel& cost() const { return config_.cost; }
+  const Topology& topology() const { return topology_; }
+
+ private:
+  friend class Proc;
+
+  struct Message {
+    index_t src;
+    int tag;
+    double arrival;
+    nnz_t seq;  ///< global send order, tie-breaker
+    std::vector<std::byte> payload;
+  };
+
+  enum class Status { ready, blocked, done };
+
+  struct ProcControl {
+    Status status = Status::ready;
+    bool scheduled = false;  ///< this thread may run now
+    double clock = 0.0;
+    // recv() wait state:
+    index_t want_src = 0;
+    int want_tag = 0;
+    std::condition_variable cv;
+    std::vector<Message> mailbox;
+    ProcStats stats;
+    std::exception_ptr error;
+  };
+
+  // Proc entry points (called from worker threads).
+  void do_compute(index_t rank, double flops, FlopKind kind);
+  void do_compute_at(index_t rank, double flops, double per_flop);
+  void do_elapse(index_t rank, double seconds);
+  void do_send(index_t rank, index_t dst, int tag,
+               std::span<const std::byte> payload);
+  ReceivedMessage do_recv(index_t rank, index_t src, int tag);
+  double do_now(index_t rank) const;
+
+  /// Index into the mailbox of the best (earliest-arrival) matching
+  /// message, or -1.
+  std::ptrdiff_t find_match(const ProcControl& pc, index_t src,
+                            int tag) const;
+
+  /// Worker thread trampoline.
+  void worker(index_t rank, const std::function<void(Proc&)>& spmd);
+
+  /// Scheduler: picks and wakes the next runnable rank.  Returns false when
+  /// every rank is done.  Must hold `mutex_`.
+  bool schedule_next(std::unique_lock<std::mutex>& lock);
+
+  /// Block the calling worker until the scheduler hands control back.
+  void yield_and_wait(index_t rank, std::unique_lock<std::mutex>& lock);
+
+  Config config_;
+  Topology topology_;
+
+  std::mutex mutex_;
+  std::condition_variable scheduler_cv_;
+  // unique_ptr because ProcControl owns a condition_variable (immovable).
+  std::vector<std::unique_ptr<ProcControl>> procs_;
+  nnz_t send_seq_ = 0;
+  bool deadlock_ = false;
+  bool running_ = false;
+};
+
+}  // namespace sparts::simpar

@@ -1,0 +1,29 @@
+// Human-readable analysis report of a factorized system: matrix and fill
+// statistics, the supernode size distribution, the parallel level profile
+// under subtree-to-subcube, and model-predicted parallel solve times for a
+// range of machine sizes.  Exposed on the command line as
+// `sparts_solve --report`.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "solver/sparse_solver.hpp"
+
+namespace sparts::solver {
+
+struct ReportOptions {
+  index_t max_p = 256;       ///< largest machine size to project
+  index_t nrhs = 1;          ///< right-hand sides for the projections
+  bool run_projections = true;
+};
+
+/// Write the analysis report for a factorized solver to `out`.
+void write_analysis_report(const SparseSolver& solver,
+                           const ReportOptions& options, std::ostream& out);
+
+/// Convenience: report as a string.
+std::string analysis_report(const SparseSolver& solver,
+                            const ReportOptions& options = {});
+
+}  // namespace sparts::solver

@@ -1,0 +1,210 @@
+#include "solver/sparse_solver.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "mapping/subtree_to_subcube.hpp"
+#include "numeric/multifrontal.hpp"
+#include "ordering/mindeg.hpp"
+#include "ordering/nested_dissection.hpp"
+#include "ordering/rcm.hpp"
+#include "parfact/parfact.hpp"
+#include "partrisolve/partrisolve.hpp"
+#include "redist/redist.hpp"
+#include "symbolic/symbolic.hpp"
+#include "trisolve/trisolve.hpp"
+
+namespace sparts::solver {
+
+namespace {
+
+sparse::Permutation compute_ordering(const sparse::SymmetricCsc& a,
+                                     OrderingMethod method) {
+  switch (method) {
+    case OrderingMethod::natural:
+      return sparse::Permutation(a.n());
+    case OrderingMethod::nested_dissection:
+      return ordering::nested_dissection(a);
+    case OrderingMethod::minimum_degree:
+      return ordering::minimum_degree(a);
+    case OrderingMethod::rcm:
+      return ordering::rcm(a);
+  }
+  throw InvalidArgument("unknown ordering method");
+}
+
+symbolic::SupernodePartition analyze(const sparse::SymmetricCsc& a_perm,
+                                     const Options& options,
+                                     AnalysisInfo* info) {
+  const symbolic::SymbolicFactor sym = symbolic::symbolic_cholesky(a_perm);
+  symbolic::SupernodePartition part = symbolic::fundamental_supernodes(sym);
+  if (options.amalgamation_max_width > 0) {
+    part = symbolic::amalgamate(sym, part, options.amalgamation_max_width,
+                                options.amalgamation_relax_zeros);
+  }
+  if (info != nullptr) {
+    info->factor_nnz = sym.nnz();
+    info->factor_flops = sym.factorization_flops();
+    info->num_supernodes = part.num_supernodes();
+    info->solve_flops_per_rhs = sym.solve_flops(1);
+  }
+  return part;
+}
+
+}  // namespace
+
+SparseSolver SparseSolver::factorize(const sparse::SymmetricCsc& a,
+                                     const Options& options) {
+  SparseSolver s;
+  s.perm_ = compute_ordering(a, options.ordering);
+  s.a_perm_ = sparse::permute_symmetric(a, s.perm_);
+  const symbolic::SupernodePartition part =
+      analyze(s.a_perm_, options, &s.info_);
+  s.factor_ = numeric::multifrontal_cholesky(s.a_perm_, part);
+  return s;
+}
+
+std::vector<real_t> SparseSolver::solve(std::span<const real_t> b,
+                                        index_t m) const {
+  const index_t n = a_perm_.n();
+  SPARTS_CHECK(static_cast<index_t>(b.size()) == n * m,
+               "right-hand side has the wrong size");
+  std::vector<real_t> x(b.size());
+  for (index_t c = 0; c < m; ++c) {
+    for (index_t k = 0; k < n; ++k) {
+      x[static_cast<std::size_t>(c * n + k)] =
+          b[static_cast<std::size_t>(c * n + perm_.old_of_new(k))];
+    }
+  }
+  trisolve::full_solve(factor_, x.data(), m);
+  std::vector<real_t> out(b.size());
+  for (index_t c = 0; c < m; ++c) {
+    for (index_t k = 0; k < n; ++k) {
+      out[static_cast<std::size_t>(c * n + perm_.old_of_new(k))] =
+          x[static_cast<std::size_t>(c * n + k)];
+    }
+  }
+  return out;
+}
+
+std::vector<real_t> SparseSolver::solve_refined(std::span<const real_t> b,
+                                                index_t m,
+                                                int max_iterations,
+                                                real_t tolerance,
+                                                real_t* residual_out) const {
+  const index_t n = a_perm_.n();
+  SPARTS_CHECK(static_cast<index_t>(b.size()) == n * m);
+  std::vector<real_t> x = solve(b, m);
+
+  // Refinement works in the *original* ordering: A is available there via
+  // the permuted matrix and the permutation.
+  const sparse::SymmetricCsc& ap = a_perm_;
+  std::vector<real_t> r(b.size());
+  real_t residual = 0.0;
+  for (int iter = 0; iter <= max_iterations; ++iter) {
+    // r = b - A x (computed in the permuted ordering for the symv).
+    std::fill(r.begin(), r.end(), 0.0);
+    for (index_t c = 0; c < m; ++c) {
+      std::vector<real_t> xp(static_cast<std::size_t>(n));
+      for (index_t k = 0; k < n; ++k) {
+        xp[static_cast<std::size_t>(k)] =
+            x[static_cast<std::size_t>(c * n + perm_.old_of_new(k))];
+      }
+      std::vector<real_t> rp(static_cast<std::size_t>(n), 0.0);
+      ap.symv(1.0, xp, rp);
+      for (index_t k = 0; k < n; ++k) {
+        r[static_cast<std::size_t>(c * n + perm_.old_of_new(k))] =
+            b[static_cast<std::size_t>(c * n + perm_.old_of_new(k))] -
+            rp[static_cast<std::size_t>(k)];
+      }
+    }
+    real_t rn = 0.0, bn = 0.0;
+    for (std::size_t z = 0; z < r.size(); ++z) {
+      rn += r[z] * r[z];
+      bn += b[z] * b[z];
+    }
+    residual = bn > 0.0 ? std::sqrt(rn / bn) : 0.0;
+    if (residual <= tolerance || iter == max_iterations) break;
+    const std::vector<real_t> dx = solve(r, m);
+    for (std::size_t z = 0; z < x.size(); ++z) x[z] += dx[z];
+  }
+  if (residual_out != nullptr) *residual_out = residual;
+  return x;
+}
+
+ParallelSolveResult parallel_solve(const sparse::SymmetricCsc& a,
+                                   std::span<const real_t> b, index_t m,
+                                   index_t p, const Options& options) {
+  const index_t n = a.n();
+  SPARTS_CHECK(static_cast<index_t>(b.size()) == n * m);
+
+  const sparse::Permutation perm = compute_ordering(a, options.ordering);
+  const sparse::SymmetricCsc a_perm = sparse::permute_symmetric(a, perm);
+  const symbolic::SupernodePartition part =
+      analyze(a_perm, options, nullptr);
+
+  simpar::Machine::Config cfg;
+  cfg.nprocs = p;
+  cfg.cost = simpar::CostModel::t3d();
+  cfg.topology = simpar::TopologyKind::hypercube;
+
+  ParallelSolveResult result;
+
+  // Phase 1: parallel factorization with 2-D partitioned fronts.
+  const mapping::SubcubeMapping fact_map = mapping::subtree_to_subcube(
+      part, p, mapping::factor_work_weights(part));
+  numeric::SupernodalFactor factor;
+  {
+    simpar::Machine machine(cfg);
+    result.factor_time =
+        parfact::parallel_multifrontal(machine, a_perm, part, fact_map,
+                                       factor)
+            .time();
+  }
+
+  // Phase 2: redistribute the factor 2-D -> 1-D for the solvers.  The
+  // rank-local storage produced here is what the solve phase reads.
+  const mapping::SubcubeMapping solve_map =
+      mapping::subtree_to_subcube(part, p);
+  const redist::Options redist_options;
+  partrisolve::DistributedFactor local_factor;
+  {
+    simpar::Machine machine(cfg);
+    result.redist_time =
+        redist::redistribute_factor(machine, factor, solve_map,
+                                    redist_options, &local_factor)
+            .time();
+  }
+
+  // Phase 3: pipelined triangular solves.
+  std::vector<real_t> b_perm(b.size());
+  for (index_t c = 0; c < m; ++c) {
+    for (index_t k = 0; k < n; ++k) {
+      b_perm[static_cast<std::size_t>(c * n + k)] =
+          b[static_cast<std::size_t>(c * n + perm.old_of_new(k))];
+    }
+  }
+  std::vector<real_t> x_perm(b.size(), 0.0);
+  {
+    partrisolve::Options solver_options;
+    solver_options.block_size = redist_options.block_1d;
+    partrisolve::DistributedTrisolver solver(factor, &local_factor,
+                                             solve_map, solver_options);
+    simpar::Machine machine(cfg);
+    auto [fw, bw] = solver.solve(machine, b_perm, x_perm, m);
+    result.forward_time = fw.time();
+    result.backward_time = bw.time();
+  }
+
+  result.x.assign(b.size(), 0.0);
+  for (index_t c = 0; c < m; ++c) {
+    for (index_t k = 0; k < n; ++k) {
+      result.x[static_cast<std::size_t>(c * n + perm.old_of_new(k))] =
+          x_perm[static_cast<std::size_t>(c * n + k)];
+    }
+  }
+  return result;
+}
+
+}  // namespace sparts::solver

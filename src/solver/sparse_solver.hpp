@@ -1,0 +1,98 @@
+// High-level solver facade: the four phases of a sparse direct solve
+// (reordering, symbolic factorization, numerical factorization, triangular
+// solution) behind one API — sequential, plus a distributed variant that
+// reproduces the paper's full pipeline on the simulated machine
+// (2-D-partitioned factorization -> redistribution -> 1-D pipelined
+// triangular solves).
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+#include "numeric/supernodal_factor.hpp"
+#include "simpar/machine.hpp"
+#include "sparse/formats.hpp"
+#include "sparse/permutation.hpp"
+#include "symbolic/supernodes.hpp"
+
+namespace sparts::solver {
+
+enum class OrderingMethod {
+  natural,            ///< no reordering
+  nested_dissection,  ///< general-graph ND (geometric for generators)
+  minimum_degree,
+  rcm,
+};
+
+struct Options {
+  OrderingMethod ordering = OrderingMethod::nested_dissection;
+  /// Relaxed supernode amalgamation: 0 disables (fundamental supernodes).
+  index_t amalgamation_max_width = 0;
+  nnz_t amalgamation_relax_zeros = 0;
+};
+
+struct AnalysisInfo {
+  nnz_t factor_nnz = 0;
+  nnz_t factor_flops = 0;
+  index_t num_supernodes = 0;
+  nnz_t solve_flops_per_rhs = 0;
+};
+
+/// Sequential sparse SPD solver.
+class SparseSolver {
+ public:
+  /// Run ordering + symbolic + numerical factorization.
+  static SparseSolver factorize(const sparse::SymmetricCsc& a,
+                                const Options& options = {});
+
+  /// Solve A X = B; `b` is n x m column-major in the *original* ordering;
+  /// returns X in the original ordering.
+  std::vector<real_t> solve(std::span<const real_t> b, index_t m) const;
+
+  /// Solve with iterative refinement: after the direct solve, repeat
+  /// r = B - A X; X += A^{-1} r up to `max_iterations` times or until the
+  /// relative residual drops below `tolerance`.  Returns X and (optionally)
+  /// the final residual via `residual_out`.
+  std::vector<real_t> solve_refined(std::span<const real_t> b, index_t m,
+                                    int max_iterations = 3,
+                                    real_t tolerance = 1e-14,
+                                    real_t* residual_out = nullptr) const;
+
+  const AnalysisInfo& info() const { return info_; }
+  const numeric::SupernodalFactor& factor() const { return factor_; }
+  const sparse::Permutation& permutation() const { return perm_; }
+  const sparse::SymmetricCsc& permuted_matrix() const { return a_perm_; }
+  const symbolic::SupernodePartition& partition() const {
+    return factor_.partition();
+  }
+
+ private:
+  SparseSolver() = default;
+  sparse::Permutation perm_;
+  sparse::SymmetricCsc a_perm_;
+  numeric::SupernodalFactor factor_;
+  AnalysisInfo info_;
+};
+
+/// Result of a full distributed solve on the simulated machine.
+struct ParallelSolveResult {
+  std::vector<real_t> x;       ///< solution, original ordering
+  double factor_time = 0.0;    ///< simulated seconds
+  double redist_time = 0.0;
+  double forward_time = 0.0;
+  double backward_time = 0.0;
+
+  double solve_time() const { return forward_time + backward_time; }
+};
+
+/// Full pipeline on `p` simulated processors: 2-D-partitioned parallel
+/// multifrontal factorization, 2-D -> 1-D redistribution, then the
+/// pipelined triangular solvers.  Host-side ordering/symbolic phases are
+/// not timed (the paper's tables start at numerical factorization).
+ParallelSolveResult parallel_solve(const sparse::SymmetricCsc& a,
+                                   std::span<const real_t> b, index_t m,
+                                   index_t p, const Options& options = {});
+
+}  // namespace sparts::solver

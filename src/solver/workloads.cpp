@@ -1,0 +1,108 @@
+#include "solver/workloads.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "ordering/nested_dissection.hpp"
+#include "sparse/generators.hpp"
+
+namespace sparts::solver {
+
+namespace {
+
+index_t scaled2(index_t k, double scale) {
+  return std::max<index_t>(
+      2, static_cast<index_t>(std::llround(k * std::sqrt(scale))));
+}
+
+index_t scaled3(index_t k, double scale) {
+  return std::max<index_t>(
+      2, static_cast<index_t>(std::llround(k * std::cbrt(scale))));
+}
+
+TestProblem make_2d(std::string name, index_t kx, index_t ky, int stencil,
+                    index_t dof, index_t paper_n, nnz_t paper_nnz,
+                    nnz_t paper_ops) {
+  TestProblem p;
+  p.name = std::move(name);
+  p.description = "grid2d " + std::to_string(kx) + "x" + std::to_string(ky) +
+                  (stencil == 9 ? " 9-point" : " 5-point") + ", " +
+                  std::to_string(dof) + " DOF/node";
+  p.matrix = dof == 1 ? sparse::grid2d(kx, ky, stencil)
+                      : sparse::grid2d_dof(kx, ky, stencil, dof);
+  p.nd_ordering = sparse::expand_permutation_dof(
+      ordering::nested_dissection_grid2d(kx, ky), dof);
+  p.paper_n = paper_n;
+  p.paper_factor_nnz = paper_nnz;
+  p.paper_factor_opcount = paper_ops;
+  return p;
+}
+
+TestProblem make_3d(std::string name, index_t kx, index_t ky, index_t kz,
+                    int stencil, index_t dof, index_t paper_n,
+                    nnz_t paper_nnz, nnz_t paper_ops) {
+  TestProblem p;
+  p.name = std::move(name);
+  p.description = "grid3d " + std::to_string(kx) + "x" + std::to_string(ky) +
+                  "x" + std::to_string(kz) +
+                  (stencil == 27 ? " 27-point" : " 7-point") + ", " +
+                  std::to_string(dof) + " DOF/node";
+  p.matrix = dof == 1 ? sparse::grid3d(kx, ky, kz, stencil)
+                      : sparse::grid3d_dof(kx, ky, kz, stencil, dof);
+  p.nd_ordering = sparse::expand_permutation_dof(
+      ordering::nested_dissection_grid3d(kx, ky, kz), dof);
+  p.paper_n = paper_n;
+  p.paper_factor_nnz = paper_nnz;
+  p.paper_factor_opcount = paper_ops;
+  return p;
+}
+
+}  // namespace
+
+TestProblem paper_problem(const std::string& name, double scale) {
+  SPARTS_CHECK(scale > 0.0 && scale <= 1.0, "scale must be in (0, 1]");
+  if (name == "BCSSTK15") {
+    // Module of an offshore platform: 2-D frame with 6 DOF per node,
+    // N = 3948 -> 26x26 mesh x 6 DOF (N = 4056).
+    const index_t k = scaled2(26, scale);
+    return make_2d(name, k, k, 9, 6, 3948, 490'000, 85'500'000);
+  }
+  if (name == "BCSSTK31") {
+    // Automobile component: a shell-dominated 3-D part with 3 DOF per
+    // node, N = 35588 -> 55x55x4 mesh x 3 DOF (N = 36300).
+    return make_3d(name, scaled3(55, scale), scaled3(55, scale),
+                   std::max<index_t>(2, scaled3(4, scale)), 7, 3, 35588,
+                   6'400'000, 2'791'000'000);
+  }
+  if (name == "HSCT21954") {
+    // High-speed civil transport airframe: a thin 3-D shell structure
+    // with 6 DOF per node, N = 21954 -> 35x35x3 mesh x 6 DOF (N = 22050).
+    return make_3d(name, scaled3(35, scale), scaled3(35, scale),
+                   std::max<index_t>(2, scaled3(3, scale)), 7, 6, 21954,
+                   7'400'000, 2'822'000'000);
+  }
+  if (name == "CUBE35") {
+    // Literally a 35^3 cube, N = 42875 (scalar Laplacian).
+    const index_t k = scaled3(35, scale);
+    return make_3d(name, k, k, k, 7, 1, 42875, 9'900'000, 2'691'000'000);
+  }
+  if (name == "COPTER2") {
+    // Helicopter rotor blade: long, thin 3-D structure with 3 DOF per
+    // node, N = 55476 -> 150x20x6 mesh x 3 DOF (N = 54000).
+    return make_3d(name, scaled3(150, scale), scaled3(20, scale),
+                   std::max<index_t>(2, scaled3(6, scale)), 7, 3, 55476,
+                   12'600'000, 9'000'000'000);
+  }
+  throw InvalidArgument("unknown paper problem: " + name);
+}
+
+std::vector<TestProblem> paper_test_suite(double scale) {
+  std::vector<TestProblem> suite;
+  for (const char* name :
+       {"BCSSTK15", "BCSSTK31", "HSCT21954", "CUBE35", "COPTER2"}) {
+    suite.push_back(paper_problem(name, scale));
+  }
+  return suite;
+}
+
+}  // namespace sparts::solver

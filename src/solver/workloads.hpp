@@ -1,0 +1,38 @@
+// The paper's evaluation workloads: synthetic counterparts of the five
+// Boeing-Harwell / application matrices of Figure 7, each paired with the
+// exact geometric nested-dissection ordering of its generated mesh.
+//
+// Substitution rationale (DESIGN.md §3): the paper's matrices are 2-D/3-D
+// neighborhood graphs; the analysis only depends on that class.  We match
+// N and report the paper's nnz(L)/opcount side by side.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sparse/formats.hpp"
+#include "sparse/permutation.hpp"
+
+namespace sparts::solver {
+
+struct TestProblem {
+  std::string name;         ///< paper name, e.g. "BCSSTK15"
+  std::string description;  ///< what we generated in its place
+  sparse::SymmetricCsc matrix;
+  /// Exact geometric nested-dissection ordering of the generated mesh.
+  sparse::Permutation nd_ordering;
+  /// Paper-reported statistics for side-by-side reporting (0 if unknown).
+  index_t paper_n = 0;
+  nnz_t paper_factor_nnz = 0;      ///< nonzeros in L
+  nnz_t paper_factor_opcount = 0;  ///< factorization flops
+};
+
+/// One paper problem by name ("BCSSTK15", "BCSSTK31", "HSCT21954",
+/// "CUBE35", "COPTER2").  `scale` in (0, 1] shrinks the mesh linearly
+/// (1.0 = the paper's N).
+TestProblem paper_problem(const std::string& name, double scale = 1.0);
+
+/// The five problems of the paper's Figure 7.
+std::vector<TestProblem> paper_test_suite(double scale = 1.0);
+
+}  // namespace sparts::solver

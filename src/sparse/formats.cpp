@@ -1,0 +1,266 @@
+#include "sparse/formats.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace sparts::sparse {
+
+Triplets::Triplets(index_t rows, index_t cols) : rows_(rows), cols_(cols) {
+  SPARTS_CHECK(rows >= 0 && cols >= 0);
+}
+
+void Triplets::add(index_t i, index_t j, real_t v) {
+  SPARTS_CHECK(i >= 0 && i < rows_ && j >= 0 && j < cols_,
+               "triplet (" << i << "," << j << ") out of range");
+  is_.push_back(i);
+  js_.push_back(j);
+  vs_.push_back(v);
+}
+
+SymmetricCsc SymmetricCsc::from_triplets(const Triplets& t) {
+  SPARTS_CHECK(t.rows() == t.cols(), "symmetric matrix must be square");
+  const index_t n = t.rows();
+  auto is = t.row_indices();
+  auto js = t.col_indices();
+  auto vs = t.values();
+
+  // Count entries per column after mapping every entry to the lower
+  // triangle; make sure a diagonal slot exists in every column.
+  std::vector<nnz_t> count(static_cast<std::size_t>(n), 1);  // diag slot
+  for (nnz_t k = 0; k < t.size(); ++k) {
+    const index_t i = std::max(is[k], js[k]);
+    const index_t j = std::min(is[k], js[k]);
+    if (i != j) ++count[static_cast<std::size_t>(j)];
+  }
+  std::vector<nnz_t> colptr(static_cast<std::size_t>(n) + 1, 0);
+  for (index_t j = 0; j < n; ++j) {
+    colptr[static_cast<std::size_t>(j) + 1] =
+        colptr[static_cast<std::size_t>(j)] + count[static_cast<std::size_t>(j)];
+  }
+  const nnz_t total = colptr.back();
+  std::vector<index_t> rowind(static_cast<std::size_t>(total));
+  std::vector<real_t> values(static_cast<std::size_t>(total), 0.0);
+
+  // Place diagonal first in each column, then off-diagonal entries.
+  std::vector<nnz_t> next(static_cast<std::size_t>(n));
+  for (index_t j = 0; j < n; ++j) {
+    const nnz_t p = colptr[static_cast<std::size_t>(j)];
+    rowind[static_cast<std::size_t>(p)] = j;
+    next[static_cast<std::size_t>(j)] = p + 1;
+  }
+  for (nnz_t k = 0; k < t.size(); ++k) {
+    const index_t i = std::max(is[k], js[k]);
+    const index_t j = std::min(is[k], js[k]);
+    if (i == j) continue;
+    const nnz_t p = next[static_cast<std::size_t>(j)]++;
+    rowind[static_cast<std::size_t>(p)] = i;
+    values[static_cast<std::size_t>(p)] = 0.0;
+  }
+
+  // Sort each column's off-diagonal entries, then merge duplicates while
+  // accumulating values in a second pass.
+  for (index_t j = 0; j < n; ++j) {
+    auto b = rowind.begin() + static_cast<std::ptrdiff_t>(
+                                  colptr[static_cast<std::size_t>(j)] + 1);
+    auto e = rowind.begin() + static_cast<std::ptrdiff_t>(
+                                  colptr[static_cast<std::size_t>(j) + 1]);
+    std::sort(b, e);
+  }
+
+  // Deduplicate structure.
+  std::vector<nnz_t> colptr2(static_cast<std::size_t>(n) + 1, 0);
+  std::vector<index_t> rowind2;
+  rowind2.reserve(rowind.size());
+  for (index_t j = 0; j < n; ++j) {
+    colptr2[static_cast<std::size_t>(j)] =
+        static_cast<nnz_t>(rowind2.size());
+    index_t last = -1;
+    for (nnz_t p = colptr[static_cast<std::size_t>(j)];
+         p < colptr[static_cast<std::size_t>(j) + 1]; ++p) {
+      const index_t r = rowind[static_cast<std::size_t>(p)];
+      if (r != last) {
+        rowind2.push_back(r);
+        last = r;
+      }
+    }
+  }
+  colptr2[static_cast<std::size_t>(n)] = static_cast<nnz_t>(rowind2.size());
+  std::vector<real_t> values2(rowind2.size(), 0.0);
+
+  // Accumulate values into the deduplicated structure.
+  auto locate = [&](index_t i, index_t j) -> nnz_t {
+    const auto b = rowind2.begin() +
+                   static_cast<std::ptrdiff_t>(colptr2[static_cast<std::size_t>(j)]);
+    const auto e = rowind2.begin() +
+                   static_cast<std::ptrdiff_t>(colptr2[static_cast<std::size_t>(j) + 1]);
+    auto it = std::lower_bound(b, e, i);
+    SPARTS_DCHECK(it != e && *it == i);
+    return static_cast<nnz_t>(it - rowind2.begin());
+  };
+  for (nnz_t k = 0; k < t.size(); ++k) {
+    const index_t i = std::max(is[k], js[k]);
+    const index_t j = std::min(is[k], js[k]);
+    values2[static_cast<std::size_t>(locate(i, j))] += vs[k];
+  }
+
+  return SymmetricCsc(n, std::move(colptr2), std::move(rowind2),
+                      std::move(values2));
+}
+
+SymmetricCsc::SymmetricCsc(index_t n, std::vector<nnz_t> colptr,
+                           std::vector<index_t> rowind,
+                           std::vector<real_t> values)
+    : n_(n),
+      colptr_(std::move(colptr)),
+      rowind_(std::move(rowind)),
+      values_(std::move(values)) {
+  SPARTS_CHECK(static_cast<index_t>(colptr_.size()) == n_ + 1,
+               "colptr must have n+1 entries");
+  SPARTS_CHECK(colptr_.front() == 0);
+  SPARTS_CHECK(rowind_.size() == values_.size());
+  SPARTS_CHECK(colptr_.back() == static_cast<nnz_t>(rowind_.size()));
+  for (index_t j = 0; j < n_; ++j) {
+    const nnz_t b = colptr_[static_cast<std::size_t>(j)];
+    const nnz_t e = colptr_[static_cast<std::size_t>(j) + 1];
+    SPARTS_CHECK(e > b, "column " << j << " is empty (diagonal missing)");
+    SPARTS_CHECK(rowind_[static_cast<std::size_t>(b)] == j,
+                 "first entry of column " << j << " must be the diagonal");
+    for (nnz_t p = b + 1; p < e; ++p) {
+      SPARTS_CHECK(rowind_[static_cast<std::size_t>(p)] >
+                       rowind_[static_cast<std::size_t>(p - 1)],
+                   "row indices must be strictly ascending in column " << j);
+      SPARTS_CHECK(rowind_[static_cast<std::size_t>(p)] < n_);
+    }
+  }
+}
+
+std::span<const index_t> SymmetricCsc::col_rows(index_t j) const {
+  SPARTS_DCHECK(j >= 0 && j < n_);
+  const nnz_t b = colptr_[static_cast<std::size_t>(j)];
+  const nnz_t e = colptr_[static_cast<std::size_t>(j) + 1];
+  return {rowind_.data() + b, static_cast<std::size_t>(e - b)};
+}
+
+std::span<const real_t> SymmetricCsc::col_values(index_t j) const {
+  SPARTS_DCHECK(j >= 0 && j < n_);
+  const nnz_t b = colptr_[static_cast<std::size_t>(j)];
+  const nnz_t e = colptr_[static_cast<std::size_t>(j) + 1];
+  return {values_.data() + b, static_cast<std::size_t>(e - b)};
+}
+
+real_t SymmetricCsc::at(index_t i, index_t j) const {
+  SPARTS_CHECK(i >= j, "at() expects lower-triangle coordinates");
+  auto rows = col_rows(j);
+  auto it = std::lower_bound(rows.begin(), rows.end(), i);
+  if (it == rows.end() || *it != i) return 0.0;
+  return col_values(j)[static_cast<std::size_t>(it - rows.begin())];
+}
+
+void SymmetricCsc::symv(real_t alpha, std::span<const real_t> x,
+                        std::span<real_t> y) const {
+  SPARTS_CHECK(static_cast<index_t>(x.size()) == n_);
+  SPARTS_CHECK(static_cast<index_t>(y.size()) == n_);
+  for (index_t j = 0; j < n_; ++j) {
+    auto rows = col_rows(j);
+    auto vals = col_values(j);
+    const real_t xj = x[static_cast<std::size_t>(j)];
+    // Diagonal.
+    y[static_cast<std::size_t>(j)] += alpha * vals[0] * xj;
+    for (std::size_t p = 1; p < rows.size(); ++p) {
+      const index_t i = rows[p];
+      const real_t v = alpha * vals[p];
+      y[static_cast<std::size_t>(i)] += v * xj;
+      y[static_cast<std::size_t>(j)] += v * x[static_cast<std::size_t>(i)];
+    }
+  }
+}
+
+void SymmetricCsc::symm(real_t alpha, const real_t* x, real_t* y,
+                        index_t m) const {
+  for (index_t c = 0; c < m; ++c) {
+    std::span<const real_t> xc(x + c * n_, static_cast<std::size_t>(n_));
+    std::span<real_t> yc(y + c * n_, static_cast<std::size_t>(n_));
+    symv(alpha, xc, yc);
+  }
+}
+
+SymmetricCsc SymmetricCsc::with_constant_values(real_t v) const {
+  SymmetricCsc copy = *this;
+  for (auto& x : copy.values_) x = v;
+  return copy;
+}
+
+Graph::Graph(index_t n, std::vector<nnz_t> xadj, std::vector<index_t> adjncy)
+    : n_(n), xadj_(std::move(xadj)), adjncy_(std::move(adjncy)) {
+  SPARTS_CHECK(static_cast<index_t>(xadj_.size()) == n_ + 1);
+  SPARTS_CHECK(xadj_.front() == 0);
+  SPARTS_CHECK(xadj_.back() == static_cast<nnz_t>(adjncy_.size()));
+}
+
+Graph Graph::from_symmetric(const SymmetricCsc& a) {
+  const index_t n = a.n();
+  std::vector<nnz_t> deg(static_cast<std::size_t>(n), 0);
+  for (index_t j = 0; j < n; ++j) {
+    auto rows = a.col_rows(j);
+    for (std::size_t p = 1; p < rows.size(); ++p) {  // skip diagonal
+      ++deg[static_cast<std::size_t>(j)];
+      ++deg[static_cast<std::size_t>(rows[p])];
+    }
+  }
+  std::vector<nnz_t> xadj(static_cast<std::size_t>(n) + 1, 0);
+  for (index_t v = 0; v < n; ++v) {
+    xadj[static_cast<std::size_t>(v) + 1] =
+        xadj[static_cast<std::size_t>(v)] + deg[static_cast<std::size_t>(v)];
+  }
+  std::vector<index_t> adjncy(static_cast<std::size_t>(xadj.back()));
+  std::vector<nnz_t> next(xadj.begin(), xadj.end() - 1);
+  for (index_t j = 0; j < n; ++j) {
+    auto rows = a.col_rows(j);
+    for (std::size_t p = 1; p < rows.size(); ++p) {
+      const index_t i = rows[p];
+      adjncy[static_cast<std::size_t>(next[static_cast<std::size_t>(j)]++)] = i;
+      adjncy[static_cast<std::size_t>(next[static_cast<std::size_t>(i)]++)] = j;
+    }
+  }
+  // Sort neighbor lists for deterministic iteration.
+  for (index_t v = 0; v < n; ++v) {
+    std::sort(adjncy.begin() + static_cast<std::ptrdiff_t>(
+                                   xadj[static_cast<std::size_t>(v)]),
+              adjncy.begin() + static_cast<std::ptrdiff_t>(
+                                   xadj[static_cast<std::size_t>(v) + 1]));
+  }
+  return Graph(n, std::move(xadj), std::move(adjncy));
+}
+
+std::span<const index_t> Graph::neighbors(index_t v) const {
+  SPARTS_DCHECK(v >= 0 && v < n_);
+  const nnz_t b = xadj_[static_cast<std::size_t>(v)];
+  const nnz_t e = xadj_[static_cast<std::size_t>(v) + 1];
+  return {adjncy_.data() + b, static_cast<std::size_t>(e - b)};
+}
+
+Graph Graph::induced(std::span<const index_t> vertices,
+                     std::vector<index_t>& local_of_global) const {
+  local_of_global.assign(static_cast<std::size_t>(n_), -1);
+  for (std::size_t k = 0; k < vertices.size(); ++k) {
+    local_of_global[static_cast<std::size_t>(vertices[k])] =
+        static_cast<index_t>(k);
+  }
+  const index_t m = static_cast<index_t>(vertices.size());
+  std::vector<nnz_t> xadj(static_cast<std::size_t>(m) + 1, 0);
+  std::vector<index_t> adjncy;
+  for (index_t lv = 0; lv < m; ++lv) {
+    const index_t gv = vertices[static_cast<std::size_t>(lv)];
+    for (index_t gu : neighbors(gv)) {
+      const index_t lu = local_of_global[static_cast<std::size_t>(gu)];
+      if (lu >= 0) adjncy.push_back(lu);
+    }
+    xadj[static_cast<std::size_t>(lv) + 1] =
+        static_cast<nnz_t>(adjncy.size());
+  }
+  return Graph(m, std::move(xadj), std::move(adjncy));
+}
+
+}  // namespace sparts::sparse

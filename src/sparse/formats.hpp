@@ -1,0 +1,122 @@
+// Sparse matrix storage formats.
+//
+// The solver pipeline works with symmetric positive definite matrices stored
+// as their lower triangle in compressed-sparse-column form (SymmetricCsc).
+// Triplets (COO) is the flexible assembly/interchange format; Graph is the
+// adjacency structure consumed by the ordering algorithms.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace sparts::sparse {
+
+/// Coordinate-format accumulation buffer.  Duplicate entries are summed on
+/// conversion.  For symmetric use, store only i >= j entries.
+class Triplets {
+ public:
+  Triplets(index_t rows, index_t cols);
+
+  void add(index_t i, index_t j, real_t v);
+
+  index_t rows() const { return rows_; }
+  index_t cols() const { return cols_; }
+  nnz_t size() const { return static_cast<nnz_t>(is_.size()); }
+
+  std::span<const index_t> row_indices() const { return is_; }
+  std::span<const index_t> col_indices() const { return js_; }
+  std::span<const real_t> values() const { return vs_; }
+
+ private:
+  index_t rows_;
+  index_t cols_;
+  std::vector<index_t> is_, js_;
+  std::vector<real_t> vs_;
+};
+
+/// Lower triangle (including diagonal) of a symmetric matrix in CSC with
+/// row indices sorted ascending within each column.  The diagonal entry is
+/// required to be present and therefore is always the first entry of its
+/// column.
+class SymmetricCsc {
+ public:
+  SymmetricCsc() = default;
+
+  /// Build from triplets; entries with i < j are mirrored to (j, i) and
+  /// duplicates are summed.  Missing diagonal entries are inserted as zero.
+  static SymmetricCsc from_triplets(const Triplets& t);
+
+  /// Build directly from pre-sorted CSC arrays (validated).
+  SymmetricCsc(index_t n, std::vector<nnz_t> colptr,
+               std::vector<index_t> rowind, std::vector<real_t> values);
+
+  index_t n() const { return n_; }
+  nnz_t nnz_lower() const { return colptr_.empty() ? 0 : colptr_.back(); }
+  /// Nonzeros of the full symmetric matrix: 2*nnz_lower - n diagonal.
+  nnz_t nnz_full() const { return 2 * nnz_lower() - n_; }
+
+  std::span<const nnz_t> colptr() const { return colptr_; }
+  std::span<const index_t> rowind() const { return rowind_; }
+  std::span<const real_t> values() const { return values_; }
+  std::span<real_t> values() { return values_; }
+
+  /// Row indices of column j (ascending, first is j itself).
+  std::span<const index_t> col_rows(index_t j) const;
+  /// Values of column j aligned with col_rows(j).
+  std::span<const real_t> col_values(index_t j) const;
+
+  /// A(i, j) with i >= j; zero if not stored (binary search).
+  real_t at(index_t i, index_t j) const;
+
+  /// y += alpha * A * x using the full symmetric matrix.
+  void symv(real_t alpha, std::span<const real_t> x,
+            std::span<real_t> y) const;
+
+  /// Multi-vector version: Y += alpha * A * X; X, Y are n x m column-major
+  /// with leading dimension n.
+  void symm(real_t alpha, const real_t* x, real_t* y, index_t m) const;
+
+  /// Structure-only copy with all values set to v.
+  SymmetricCsc with_constant_values(real_t v) const;
+
+ private:
+  index_t n_ = 0;
+  std::vector<nnz_t> colptr_;
+  std::vector<index_t> rowind_;
+  std::vector<real_t> values_;
+};
+
+/// Undirected adjacency structure (CSR-of-neighbors, no self loops),
+/// used by ordering algorithms.  Vertices are 0..n-1.
+class Graph {
+ public:
+  Graph() = default;
+  Graph(index_t n, std::vector<nnz_t> xadj, std::vector<index_t> adjncy);
+
+  /// Adjacency of the full symmetric pattern of A (diagonal dropped).
+  static Graph from_symmetric(const SymmetricCsc& a);
+
+  index_t n() const { return n_; }
+  nnz_t num_edges() const {
+    return xadj_.empty() ? 0 : xadj_.back() / 2;
+  }
+
+  std::span<const index_t> neighbors(index_t v) const;
+  index_t degree(index_t v) const {
+    return static_cast<index_t>(neighbors(v).size());
+  }
+
+  /// Induced subgraph on `vertices`; returns the subgraph and fills
+  /// `local_of_global` (size n, -1 where absent).
+  Graph induced(std::span<const index_t> vertices,
+                std::vector<index_t>& local_of_global) const;
+
+ private:
+  index_t n_ = 0;
+  std::vector<nnz_t> xadj_;
+  std::vector<index_t> adjncy_;
+};
+
+}  // namespace sparts::sparse

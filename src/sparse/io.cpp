@@ -1,0 +1,119 @@
+#include "sparse/io.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace sparts::sparse {
+
+namespace {
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+}  // namespace
+
+SymmetricCsc read_matrix_market(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw IoError("cannot open " + path);
+  return read_matrix_market(in);
+}
+
+SymmetricCsc read_matrix_market(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line)) throw IoError("empty matrix market stream");
+  std::istringstream header(line);
+  std::string banner, object, format, field, symmetry;
+  header >> banner >> object >> format >> field >> symmetry;
+  if (banner != "%%MatrixMarket" || lower(object) != "matrix" ||
+      lower(format) != "coordinate") {
+    throw IoError("unsupported MatrixMarket header: " + line);
+  }
+  const bool pattern = lower(field) == "pattern";
+  if (!pattern && lower(field) != "real" && lower(field) != "integer") {
+    throw IoError("unsupported MatrixMarket field: " + field);
+  }
+  if (lower(symmetry) != "symmetric") {
+    throw IoError("only symmetric matrices are supported, got: " + symmetry);
+  }
+
+  // Skip comments.
+  while (std::getline(in, line)) {
+    if (!line.empty() && line[0] != '%') break;
+  }
+  std::istringstream sizes(line);
+  index_t rows = 0, cols = 0;
+  nnz_t entries = 0;
+  sizes >> rows >> cols >> entries;
+  if (!sizes || rows <= 0 || cols != rows) {
+    throw IoError("bad MatrixMarket size line: " + line);
+  }
+
+  Triplets t(rows, cols);
+  for (nnz_t k = 0; k < entries; ++k) {
+    if (!std::getline(in, line)) throw IoError("truncated MatrixMarket body");
+    std::istringstream entry(line);
+    index_t i = 0, j = 0;
+    real_t v = 1.0;
+    entry >> i >> j;
+    if (!pattern) entry >> v;
+    if (!entry) throw IoError("bad MatrixMarket entry: " + line);
+    if (i < 1 || i > rows || j < 1 || j > cols) {
+      throw IoError("MatrixMarket index out of range: " + line);
+    }
+    t.add(i - 1, j - 1, v);
+  }
+  SymmetricCsc a = SymmetricCsc::from_triplets(t);
+
+  if (pattern) {
+    // Synthesize SPD values: off-diagonals -1, diagonal = degree + 1.
+    auto vals = a.values();
+    auto colptr = a.colptr();
+    auto rowind = a.rowind();
+    std::vector<real_t> diag(static_cast<std::size_t>(a.n()), 1.0);
+    for (index_t j = 0; j < a.n(); ++j) {
+      for (nnz_t p = colptr[static_cast<std::size_t>(j)] + 1;
+           p < colptr[static_cast<std::size_t>(j) + 1]; ++p) {
+        vals[static_cast<std::size_t>(p)] = -1.0;
+        diag[static_cast<std::size_t>(j)] += 1.0;
+        diag[static_cast<std::size_t>(rowind[static_cast<std::size_t>(p)])] +=
+            1.0;
+      }
+    }
+    for (index_t j = 0; j < a.n(); ++j) {
+      vals[static_cast<std::size_t>(colptr[static_cast<std::size_t>(j)])] =
+          diag[static_cast<std::size_t>(j)];
+    }
+  }
+  return a;
+}
+
+void write_matrix_market(const SymmetricCsc& a, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw IoError("cannot open " + path + " for writing");
+  write_matrix_market(a, out);
+}
+
+void write_matrix_market(const SymmetricCsc& a, std::ostream& out) {
+  out << "%%MatrixMarket matrix coordinate real symmetric\n";
+  out << "% written by SPARTS\n";
+  out << a.n() << ' ' << a.n() << ' ' << a.nnz_lower() << '\n';
+  out << std::setprecision(17);
+  for (index_t j = 0; j < a.n(); ++j) {
+    auto rows = a.col_rows(j);
+    auto vals = a.col_values(j);
+    for (std::size_t k = 0; k < rows.size(); ++k) {
+      out << rows[k] + 1 << ' ' << j + 1 << ' ' << vals[k] << '\n';
+    }
+  }
+  if (!out) throw IoError("write failure in write_matrix_market");
+}
+
+}  // namespace sparts::sparse

@@ -1,0 +1,27 @@
+// Matrix Market (.mtx) reader/writer for symmetric coordinate matrices.
+//
+// Supports the `%%MatrixMarket matrix coordinate real symmetric` and
+// `... pattern symmetric` headers.  Pattern matrices get synthetic
+// diagonally-dominant values so they are SPD and usable end-to-end.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "sparse/formats.hpp"
+
+namespace sparts::sparse {
+
+/// Read a symmetric Matrix Market file.  Throws IoError on malformed input.
+SymmetricCsc read_matrix_market(const std::string& path);
+
+/// Stream variant (for tests).
+SymmetricCsc read_matrix_market(std::istream& in);
+
+/// Write the lower triangle as `coordinate real symmetric`.
+void write_matrix_market(const SymmetricCsc& a, const std::string& path);
+
+/// Stream variant (for tests).
+void write_matrix_market(const SymmetricCsc& a, std::ostream& out);
+
+}  // namespace sparts::sparse

@@ -1,0 +1,70 @@
+#include "sparse/permutation.hpp"
+
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace sparts::sparse {
+
+Permutation::Permutation(index_t n)
+    : perm_(static_cast<std::size_t>(n)), iperm_(static_cast<std::size_t>(n)) {
+  std::iota(perm_.begin(), perm_.end(), index_t{0});
+  std::iota(iperm_.begin(), iperm_.end(), index_t{0});
+}
+
+Permutation::Permutation(std::vector<index_t> perm) : perm_(std::move(perm)) {
+  const index_t n = static_cast<index_t>(perm_.size());
+  iperm_.assign(static_cast<std::size_t>(n), -1);
+  for (index_t k = 0; k < n; ++k) {
+    const index_t old = perm_[static_cast<std::size_t>(k)];
+    SPARTS_CHECK(old >= 0 && old < n, "permutation entry out of range");
+    SPARTS_CHECK(iperm_[static_cast<std::size_t>(old)] == -1,
+                 "permutation has duplicate entry " << old);
+    iperm_[static_cast<std::size_t>(old)] = k;
+  }
+}
+
+Permutation Permutation::compose(const Permutation& other) const {
+  SPARTS_CHECK(n() == other.n());
+  std::vector<index_t> p(static_cast<std::size_t>(n()));
+  // Applying `other` then `this`: new index k maps through this->old, then
+  // other->old:  result[k] = other.perm[this.perm[k]].
+  for (index_t k = 0; k < n(); ++k) {
+    p[static_cast<std::size_t>(k)] = other.old_of_new(old_of_new(k));
+  }
+  return Permutation(std::move(p));
+}
+
+Permutation Permutation::inverted() const {
+  return Permutation(std::vector<index_t>(iperm_));
+}
+
+SymmetricCsc permute_symmetric(const SymmetricCsc& a, const Permutation& p) {
+  SPARTS_CHECK(a.n() == p.n());
+  const index_t n = a.n();
+  Triplets t(n, n);
+  for (index_t j = 0; j < n; ++j) {
+    auto rows = a.col_rows(j);
+    auto vals = a.col_values(j);
+    const index_t nj = p.new_of_old(j);
+    for (std::size_t k = 0; k < rows.size(); ++k) {
+      const index_t ni = p.new_of_old(rows[k]);
+      t.add(std::max(ni, nj), std::min(ni, nj), vals[k]);
+    }
+  }
+  return SymmetricCsc::from_triplets(t);
+}
+
+Permutation expand_permutation_dof(const Permutation& base, index_t dof) {
+  SPARTS_CHECK(dof >= 1);
+  std::vector<index_t> perm(static_cast<std::size_t>(base.n() * dof));
+  for (index_t k = 0; k < base.n(); ++k) {
+    const index_t old = base.old_of_new(k);
+    for (index_t a = 0; a < dof; ++a) {
+      perm[static_cast<std::size_t>(k * dof + a)] = old * dof + a;
+    }
+  }
+  return Permutation(std::move(perm));
+}
+
+}  // namespace sparts::sparse

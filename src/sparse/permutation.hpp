@@ -1,0 +1,80 @@
+// Permutations and symmetric matrix reordering (P A P^T).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+#include "sparse/formats.hpp"
+
+namespace sparts::sparse {
+
+/// A permutation of 0..n-1.  perm[new_index] = old_index, following the
+/// sparse-direct convention: row/column `perm[k]` of the original matrix
+/// becomes row/column `k` of the permuted matrix.
+class Permutation {
+ public:
+  Permutation() = default;
+
+  /// Identity permutation of size n.
+  explicit Permutation(index_t n);
+
+  /// From an explicit new->old map (validated to be a bijection).
+  explicit Permutation(std::vector<index_t> perm);
+
+  index_t n() const { return static_cast<index_t>(perm_.size()); }
+
+  /// new -> old.
+  std::span<const index_t> perm() const { return perm_; }
+  /// old -> new.
+  std::span<const index_t> inverse() const { return iperm_; }
+
+  index_t old_of_new(index_t k) const { return perm_[static_cast<std::size_t>(k)]; }
+  index_t new_of_old(index_t k) const { return iperm_[static_cast<std::size_t>(k)]; }
+
+  /// Composition: (this ∘ other), i.e. apply `other` first, then `this`.
+  Permutation compose(const Permutation& other) const;
+
+  /// Inverse permutation object.
+  Permutation inverted() const;
+
+  /// Permute a vector from old ordering to new ordering:
+  /// out[k] = in[perm[k]].
+  template <typename T>
+  std::vector<T> apply(std::span<const T> in) const {
+    SPARTS_CHECK(static_cast<index_t>(in.size()) == n());
+    std::vector<T> out(in.size());
+    for (std::size_t k = 0; k < in.size(); ++k) {
+      out[k] = in[static_cast<std::size_t>(perm_[k])];
+    }
+    return out;
+  }
+
+  /// Scatter a vector from new ordering back to old ordering:
+  /// out[perm[k]] = in[k].
+  template <typename T>
+  std::vector<T> apply_inverse(std::span<const T> in) const {
+    SPARTS_CHECK(static_cast<index_t>(in.size()) == n());
+    std::vector<T> out(in.size());
+    for (std::size_t k = 0; k < in.size(); ++k) {
+      out[static_cast<std::size_t>(perm_[k])] = in[k];
+    }
+    return out;
+  }
+
+ private:
+  std::vector<index_t> perm_;   // new -> old
+  std::vector<index_t> iperm_;  // old -> new
+};
+
+/// Symmetric reordering B = P A P^T, keeping lower-triangular storage.
+SymmetricCsc permute_symmetric(const SymmetricCsc& a, const Permutation& p);
+
+/// Lift a permutation of mesh vertices to a permutation of multi-DOF
+/// unknowns (unknown (v, a) = v*dof + a): each vertex's DOF stay
+/// consecutive in the vertex's new position.  Used to apply a geometric
+/// nested-dissection vertex order to grid2d_dof / grid3d_dof systems.
+Permutation expand_permutation_dof(const Permutation& base, index_t dof);
+
+}  // namespace sparts::sparse

@@ -1,0 +1,118 @@
+#include "trisolve/trisolve.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+#include "dense/kernels.hpp"
+
+namespace sparts::trisolve {
+
+void forward_solve(const numeric::SupernodalFactor& l, real_t* b, index_t m,
+                   SolveStats* stats) {
+  const auto& p = l.partition();
+  const index_t n = p.n();
+  nnz_t flops = 0;
+  std::vector<real_t> temp;
+
+  // Supernodes are numbered so that ancestors have higher indices
+  // (column-contiguity), so ascending order is a valid bottom-up sweep.
+  for (index_t s = 0; s < p.num_supernodes(); ++s) {
+    const index_t t = p.width(s);
+    const index_t ns = p.height(s);
+    const index_t j0 = p.first_col[static_cast<std::size_t>(s)];
+    auto block = l.block(s);
+
+    // Dense triangular solve on the supernode's own rows of B.
+    flops += dense::panel_trsm_lower(t, m, block.data(), ns, b + j0, n);
+
+    // Rectangle update: temp = L21 * X1, scattered into ancestor rows.
+    const index_t below = ns - t;
+    if (below > 0) {
+      temp.assign(static_cast<std::size_t>(below) * m, 0.0);
+      dense::panel_gemm(below, m, t, 1.0, block.data() + t, ns, b + j0, n,
+                        temp.data(), below);
+      flops += dense::gemm_flops(below, m, t);
+      auto rows = p.row_indices(s);
+      for (index_t c = 0; c < m; ++c) {
+        real_t* bc = b + c * n;
+        const real_t* tc = temp.data() + static_cast<std::size_t>(c) * below;
+        for (index_t i = 0; i < below; ++i) {
+          bc[rows[static_cast<std::size_t>(t + i)]] -= tc[i];
+        }
+      }
+    }
+  }
+  if (stats != nullptr) stats->flops += flops;
+}
+
+void backward_solve(const numeric::SupernodalFactor& l, real_t* b, index_t m,
+                    SolveStats* stats) {
+  const auto& p = l.partition();
+  const index_t n = p.n();
+  nnz_t flops = 0;
+  std::vector<real_t> temp;
+
+  for (index_t s = p.num_supernodes() - 1; s >= 0; --s) {
+    const index_t t = p.width(s);
+    const index_t ns = p.height(s);
+    const index_t j0 = p.first_col[static_cast<std::size_t>(s)];
+    auto block = l.block(s);
+    const index_t below = ns - t;
+
+    if (below > 0) {
+      // Gather ancestor rows of X, then X1 -= L21^T * X2.
+      auto rows = p.row_indices(s);
+      temp.assign(static_cast<std::size_t>(below) * m, 0.0);
+      for (index_t c = 0; c < m; ++c) {
+        const real_t* bc = b + c * n;
+        real_t* tc = temp.data() + static_cast<std::size_t>(c) * below;
+        for (index_t i = 0; i < below; ++i) {
+          tc[i] = bc[rows[static_cast<std::size_t>(t + i)]];
+        }
+      }
+      dense::panel_gemm_at(t, m, below, -1.0, block.data() + t, ns,
+                           temp.data(), below, b + j0, n);
+      flops += dense::gemm_flops(t, m, below);
+    }
+
+    // Dense transposed-triangular solve on the supernode's own rows.
+    flops += dense::panel_trsm_lower_transposed(t, m, block.data(), ns,
+                                                b + j0, n);
+  }
+  if (stats != nullptr) stats->flops += flops;
+}
+
+void full_solve(const numeric::SupernodalFactor& l, real_t* b, index_t m,
+                SolveStats* stats) {
+  forward_solve(l, b, m, stats);
+  backward_solve(l, b, m, stats);
+}
+
+real_t relative_residual(const sparse::SymmetricCsc& a,
+                         std::span<const real_t> x, std::span<const real_t> b,
+                         index_t m) {
+  const index_t n = a.n();
+  SPARTS_CHECK(static_cast<index_t>(x.size()) == n * m);
+  SPARTS_CHECK(static_cast<index_t>(b.size()) == n * m);
+  real_t worst = 0.0;
+  std::vector<real_t> r(static_cast<std::size_t>(n));
+  for (index_t c = 0; c < m; ++c) {
+    for (index_t i = 0; i < n; ++i) {
+      r[static_cast<std::size_t>(i)] = -b[static_cast<std::size_t>(c * n + i)];
+    }
+    a.symv(1.0, x.subspan(static_cast<std::size_t>(c * n),
+                          static_cast<std::size_t>(n)),
+           r);
+    real_t rn = 0.0, bn = 0.0;
+    for (index_t i = 0; i < n; ++i) {
+      rn += r[static_cast<std::size_t>(i)] * r[static_cast<std::size_t>(i)];
+      const real_t bi = b[static_cast<std::size_t>(c * n + i)];
+      bn += bi * bi;
+    }
+    worst = std::max(worst, std::sqrt(rn) / std::max(std::sqrt(bn), 1e-300));
+  }
+  return worst;
+}
+
+}  // namespace sparts::trisolve

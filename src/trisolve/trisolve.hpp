@@ -1,0 +1,44 @@
+// Sequential supernodal forward elimination and backward substitution
+// (paper §2, serial form) — the single-processor baseline of every
+// experiment and the reference the parallel solvers are validated against.
+//
+// Forward elimination (L Y = B) walks the supernodal elimination tree
+// bottom-up: at each trapezoidal supernode, solve the t x t dense triangle,
+// then subtract the (n_s - t) x t rectangle's product from the entries of
+// the right-hand side owned by ancestors.  Backward substitution (L^T X = Y)
+// walks top-down with the transposed operations.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+#include "numeric/supernodal_factor.hpp"
+
+namespace sparts::trisolve {
+
+/// Statistics of one solver run.
+struct SolveStats {
+  nnz_t flops = 0;
+};
+
+/// Solve L Y = B in place.  `b` is n x m column-major with ld = n.
+void forward_solve(const numeric::SupernodalFactor& l, real_t* b, index_t m,
+                   SolveStats* stats = nullptr);
+
+/// Solve L^T X = Y in place.
+void backward_solve(const numeric::SupernodalFactor& l, real_t* b, index_t m,
+                    SolveStats* stats = nullptr);
+
+/// Full solve of A X = B given the factor of (permuted) A: forward then
+/// backward, in place.
+void full_solve(const numeric::SupernodalFactor& l, real_t* b, index_t m,
+                SolveStats* stats = nullptr);
+
+/// Relative residual ||A x - b||_2 / ||b||_2, column-wise max, for a
+/// computed solution (both column-major n x m).
+real_t relative_residual(const sparse::SymmetricCsc& a,
+                         std::span<const real_t> x, std::span<const real_t> b,
+                         index_t m);
+
+}  // namespace sparts::trisolve

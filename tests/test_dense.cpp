@@ -1,0 +1,219 @@
+// Dense matrix and kernel tests: every panel kernel is validated against a
+// naive reference implementation.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "dense/cholesky.hpp"
+#include "dense/kernels.hpp"
+#include "dense/matrix.hpp"
+
+namespace sparts::dense {
+namespace {
+
+Matrix random_matrix(index_t rows, index_t cols, Rng& rng) {
+  Matrix a(rows, cols);
+  for (index_t j = 0; j < cols; ++j) {
+    for (index_t i = 0; i < rows; ++i) a(i, j) = rng.uniform(-1.0, 1.0);
+  }
+  return a;
+}
+
+Matrix random_spd_dense(index_t n, Rng& rng) {
+  Matrix b = random_matrix(n, n, rng);
+  Matrix a(n, n);
+  gemm(1.0, b, false, b, true, a);  // A = B B^T
+  for (index_t i = 0; i < n; ++i) a(i, i) += static_cast<real_t>(n);
+  return a;
+}
+
+TEST(Matrix, BasicAccessorsAndOps) {
+  Matrix a = Matrix::from_rows({{1.0, 2.0}, {3.0, 4.0}, {5.0, 6.0}});
+  EXPECT_EQ(a.rows(), 3);
+  EXPECT_EQ(a.cols(), 2);
+  EXPECT_DOUBLE_EQ(a(2, 1), 6.0);
+  Matrix t = a.transposed();
+  EXPECT_EQ(t.rows(), 2);
+  EXPECT_DOUBLE_EQ(t(1, 2), 6.0);
+  Matrix i3 = Matrix::identity(3);
+  EXPECT_DOUBLE_EQ(i3(1, 1), 1.0);
+  EXPECT_DOUBLE_EQ(i3(0, 1), 0.0);
+  a += a;
+  EXPECT_DOUBLE_EQ(a(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(a.max_abs(), 12.0);
+}
+
+TEST(Matrix, FrobeniusDistance) {
+  Matrix a = Matrix::from_rows({{3.0, 0.0}, {0.0, 4.0}});
+  Matrix b(2, 2);
+  EXPECT_DOUBLE_EQ(frobenius_distance(a, b), 5.0);
+  EXPECT_DOUBLE_EQ(frobenius_norm(a), 5.0);
+}
+
+TEST(Kernels, GemmMatchesNaive) {
+  Rng rng(1);
+  const index_t m = 7, n = 5, k = 6;
+  Matrix a = random_matrix(m, k, rng);
+  Matrix b = random_matrix(k, n, rng);
+  Matrix c(m, n);
+  gemm(2.0, a, false, b, false, c);
+  for (index_t i = 0; i < m; ++i) {
+    for (index_t j = 0; j < n; ++j) {
+      real_t s = 0.0;
+      for (index_t l = 0; l < k; ++l) s += a(i, l) * b(l, j);
+      EXPECT_NEAR(c(i, j), 2.0 * s, 1e-12);
+    }
+  }
+}
+
+TEST(Kernels, GemmTransposedVariants) {
+  Rng rng(2);
+  const index_t m = 4, n = 3, k = 5;
+  Matrix a = random_matrix(k, m, rng);   // used as A^T
+  Matrix b = random_matrix(n, k, rng);   // used as B^T
+  Matrix c(m, n);
+  gemm(1.0, a, true, b, true, c);
+  for (index_t i = 0; i < m; ++i) {
+    for (index_t j = 0; j < n; ++j) {
+      real_t s = 0.0;
+      for (index_t l = 0; l < k; ++l) s += a(l, i) * b(j, l);
+      EXPECT_NEAR(c(i, j), s, 1e-12);
+    }
+  }
+}
+
+TEST(Kernels, GemvMatchesGemm) {
+  Rng rng(3);
+  const index_t m = 6, n = 4;
+  Matrix a = random_matrix(m, n, rng);
+  std::vector<real_t> x(static_cast<std::size_t>(n));
+  for (auto& v : x) v = rng.uniform(-1.0, 1.0);
+  std::vector<real_t> y(static_cast<std::size_t>(m), 0.0);
+  gemv(1.5, a, x, y);
+  for (index_t i = 0; i < m; ++i) {
+    real_t s = 0.0;
+    for (index_t j = 0; j < n; ++j) {
+      s += a(i, j) * x[static_cast<std::size_t>(j)];
+    }
+    EXPECT_NEAR(y[static_cast<std::size_t>(i)], 1.5 * s, 1e-12);
+  }
+}
+
+TEST(Kernels, CholeskyReconstructs) {
+  Rng rng(4);
+  const index_t n = 12;
+  Matrix a = random_spd_dense(n, rng);
+  Matrix l = cholesky(a);
+  Matrix rec(n, n);
+  gemm(1.0, l, false, l, true, rec);
+  EXPECT_LT(frobenius_distance(a, rec) / frobenius_norm(a), 1e-12);
+  // Upper part must be exactly zero.
+  for (index_t j = 1; j < n; ++j) {
+    for (index_t i = 0; i < j; ++i) EXPECT_DOUBLE_EQ(l(i, j), 0.0);
+  }
+}
+
+TEST(Kernels, CholeskyRejectsIndefinite) {
+  Matrix a = Matrix::from_rows({{1.0, 2.0}, {2.0, 1.0}});  // indefinite
+  EXPECT_THROW(cholesky(a), NumericalError);
+}
+
+TEST(Kernels, SolveSpdRoundTrip) {
+  Rng rng(5);
+  const index_t n = 10, m = 3;
+  Matrix a = random_spd_dense(n, rng);
+  Matrix x_true = random_matrix(n, m, rng);
+  Matrix b(n, m);
+  gemm(1.0, a, false, x_true, false, b);
+  Matrix x = solve_spd(a, b);
+  EXPECT_LT(frobenius_distance(x, x_true) / frobenius_norm(x_true), 1e-10);
+}
+
+TEST(Kernels, TrsmLowerBothDirections) {
+  Rng rng(6);
+  const index_t n = 9, m = 2;
+  Matrix a = random_spd_dense(n, rng);
+  Matrix l = cholesky(a);
+  Matrix b = random_matrix(n, m, rng);
+  Matrix y = solve_lower(l, b);
+  // Check L y = b.
+  Matrix check(n, m);
+  gemm(1.0, l, false, y, false, check);
+  EXPECT_LT(frobenius_distance(check, b), 1e-10);
+  Matrix x = solve_lower_transposed(l, b);
+  Matrix check2(n, m);
+  gemm(1.0, l, true, x, false, check2);
+  EXPECT_LT(frobenius_distance(check2, b), 1e-10);
+}
+
+TEST(PanelKernels, TrsmRightLt) {
+  // X := X * L^{-T}  must satisfy  X_out * L^T = X_in.
+  Rng rng(7);
+  const index_t m = 6, k = 4;
+  Matrix a = random_spd_dense(k, rng);
+  Matrix l = cholesky(a);
+  Matrix x = random_matrix(m, k, rng);
+  Matrix x0 = x;
+  panel_trsm_right_lt(m, k, l.col(0), k, x.col(0), m);
+  Matrix check(m, k);
+  gemm(1.0, x, false, l, true, check);
+  EXPECT_LT(frobenius_distance(check, x0), 1e-10);
+}
+
+TEST(PanelKernels, PartialCholeskyMatchesBlocked) {
+  // panel_cholesky on an m x t panel must agree with factoring the full
+  // matrix and reading off the first t columns.
+  Rng rng(8);
+  const index_t n = 10, t = 4;
+  Matrix a = random_spd_dense(n, rng);
+  Matrix full = cholesky(a);
+  Matrix panel = a;  // copy; factor first t columns in place
+  panel_cholesky(n, t, panel.col(0), n);
+  for (index_t j = 0; j < t; ++j) {
+    for (index_t i = j; i < n; ++i) {
+      EXPECT_NEAR(panel(i, j), full(i, j), 1e-10);
+    }
+  }
+}
+
+TEST(PanelKernels, SyrkLowerMatchesGemm) {
+  Rng rng(9);
+  const index_t n = 8, k = 5;
+  Matrix a = random_matrix(n, k, rng);
+  Matrix c(n, n);
+  syrk_lower(a, c);  // C -= A A^T (lower)
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t i = j; i < n; ++i) {
+      real_t s = 0.0;
+      for (index_t l = 0; l < k; ++l) s += a(i, l) * a(j, l);
+      EXPECT_NEAR(c(i, j), -s, 1e-12);
+    }
+    for (index_t i = 0; i < j; ++i) EXPECT_DOUBLE_EQ(c(i, j), 0.0);
+  }
+}
+
+TEST(PanelKernels, GemmAtMatchesNaive) {
+  Rng rng(10);
+  const index_t m = 5, n = 3, k = 7;
+  Matrix a = random_matrix(k, m, rng);
+  Matrix b = random_matrix(k, n, rng);
+  Matrix c(m, n);
+  panel_gemm_at(m, n, k, -1.0, a.col(0), k, b.col(0), k, c.col(0), m);
+  for (index_t i = 0; i < m; ++i) {
+    for (index_t j = 0; j < n; ++j) {
+      real_t s = 0.0;
+      for (index_t l = 0; l < k; ++l) s += a(l, i) * b(l, j);
+      EXPECT_NEAR(c(i, j), -s, 1e-12);
+    }
+  }
+}
+
+TEST(Flops, CountsArePositiveAndScale) {
+  EXPECT_EQ(gemm_flops(2, 3, 4), 48);
+  EXPECT_GT(cholesky_flops(100), cholesky_flops(50));
+  EXPECT_EQ(trisolve_flops(10, 3), 300);
+}
+
+}  // namespace
+}  // namespace sparts::dense

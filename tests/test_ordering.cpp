@@ -1,0 +1,271 @@
+// Elimination trees, postorder, and the fill-reducing orderings.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "ordering/etree.hpp"
+#include "ordering/mindeg.hpp"
+#include "ordering/multilevel.hpp"
+#include "ordering/nested_dissection.hpp"
+#include "ordering/rcm.hpp"
+#include "sparse/generators.hpp"
+#include "sparse/permutation.hpp"
+#include "symbolic/symbolic.hpp"
+
+namespace sparts::ordering {
+namespace {
+
+/// nnz(L) of the matrix under a given ordering.
+nnz_t fill_under(const sparse::SymmetricCsc& a, const sparse::Permutation& p) {
+  const sparse::SymmetricCsc b = sparse::permute_symmetric(a, p);
+  return symbolic::symbolic_cholesky(b).nnz();
+}
+
+TEST(Etree, KnownSmallExample) {
+  // Arrow matrix: every column connected to the last one.  Tree is a star
+  // rooted at n-1.
+  sparse::Triplets t(5, 5);
+  for (index_t i = 0; i < 5; ++i) t.add(i, i, 4.0);
+  for (index_t i = 0; i < 4; ++i) t.add(4, i, -1.0);
+  sparse::SymmetricCsc a = sparse::SymmetricCsc::from_triplets(t);
+  EliminationTree tree = elimination_tree(a);
+  for (index_t v = 0; v < 4; ++v) EXPECT_EQ(tree.parent[static_cast<std::size_t>(v)], 4);
+  EXPECT_EQ(tree.parent[4], -1);
+}
+
+TEST(Etree, TridiagonalIsAChain) {
+  sparse::Triplets t(6, 6);
+  for (index_t i = 0; i < 6; ++i) t.add(i, i, 4.0);
+  for (index_t i = 0; i + 1 < 6; ++i) t.add(i + 1, i, -1.0);
+  sparse::SymmetricCsc a = sparse::SymmetricCsc::from_triplets(t);
+  EliminationTree tree = elimination_tree(a);
+  for (index_t v = 0; v + 1 < 6; ++v) {
+    EXPECT_EQ(tree.parent[static_cast<std::size_t>(v)], v + 1);
+  }
+}
+
+TEST(Etree, PostorderIsValid) {
+  sparse::SymmetricCsc a = sparse::grid2d(6, 7);
+  EliminationTree tree = elimination_tree(a);
+  auto order = postorder(tree);
+  EXPECT_TRUE(is_postorder(tree, order));
+  // A shuffled order is (almost surely) not a postorder.
+  auto bad = order;
+  std::swap(bad.front(), bad.back());
+  EXPECT_FALSE(is_postorder(tree, bad));
+}
+
+TEST(Etree, SubtreeSizesSumAtRoots) {
+  sparse::SymmetricCsc a = sparse::grid2d(5, 5);
+  EliminationTree tree = elimination_tree(a);
+  auto sizes = subtree_sizes(tree);
+  index_t total = 0;
+  for (index_t v = 0; v < tree.n(); ++v) {
+    if (tree.parent[static_cast<std::size_t>(v)] == -1) {
+      total += sizes[static_cast<std::size_t>(v)];
+    }
+  }
+  EXPECT_EQ(total, tree.n());
+}
+
+TEST(Etree, LevelsAndHeight) {
+  sparse::SymmetricCsc a = sparse::grid2d(4, 4);
+  EliminationTree tree = elimination_tree(a);
+  auto levels = tree_levels(tree);
+  const index_t h = tree_height(tree);
+  EXPECT_GT(h, 0);
+  for (index_t v = 0; v < tree.n(); ++v) {
+    const index_t p = tree.parent[static_cast<std::size_t>(v)];
+    if (p != -1) {
+      EXPECT_EQ(levels[static_cast<std::size_t>(v)],
+                levels[static_cast<std::size_t>(p)] + 1);
+    } else {
+      EXPECT_EQ(levels[static_cast<std::size_t>(v)], 0);
+    }
+  }
+}
+
+TEST(Etree, RelabelByPostorderGivesMonotoneParents) {
+  sparse::SymmetricCsc a = sparse::grid2d(5, 6);
+  EliminationTree tree = elimination_tree(a);
+  auto order = postorder(tree);
+  EliminationTree re = relabel_tree(tree, order);
+  for (index_t v = 0; v < re.n(); ++v) {
+    const index_t p = re.parent[static_cast<std::size_t>(v)];
+    if (p != -1) EXPECT_GT(p, v);
+  }
+}
+
+TEST(Rcm, ReducesBandwidthOnGrid) {
+  // A randomly permuted grid has large bandwidth; RCM shrinks it.
+  sparse::SymmetricCsc a0 = sparse::grid2d(12, 12);
+  Rng rng(7);
+  std::vector<index_t> shuffled(static_cast<std::size_t>(a0.n()));
+  std::iota(shuffled.begin(), shuffled.end(), index_t{0});
+  rng.shuffle(shuffled);
+  sparse::SymmetricCsc a =
+      sparse::permute_symmetric(a0, sparse::Permutation(shuffled));
+
+  auto bandwidth = [](const sparse::SymmetricCsc& m) {
+    index_t bw = 0;
+    for (index_t j = 0; j < m.n(); ++j) {
+      for (index_t i : m.col_rows(j)) bw = std::max(bw, i - j);
+    }
+    return bw;
+  };
+  const index_t before = bandwidth(a);
+  const sparse::Permutation p = rcm(a);
+  const index_t after = bandwidth(sparse::permute_symmetric(a, p));
+  EXPECT_LT(after, before / 2);
+}
+
+TEST(MinimumDegree, ReducesFillVersusNatural) {
+  Rng rng(8);
+  sparse::SymmetricCsc a0 = sparse::grid2d(12, 12);
+  // Shuffle so "natural" is bad.
+  std::vector<index_t> shuffled(static_cast<std::size_t>(a0.n()));
+  std::iota(shuffled.begin(), shuffled.end(), index_t{0});
+  rng.shuffle(shuffled);
+  sparse::SymmetricCsc a =
+      sparse::permute_symmetric(a0, sparse::Permutation(shuffled));
+
+  const nnz_t natural = fill_under(a, sparse::Permutation(a.n()));
+  const nnz_t md = fill_under(a, minimum_degree(a));
+  EXPECT_LT(md, natural);
+}
+
+TEST(NestedDissection, GeometricOrderingIsAPermutation) {
+  const sparse::Permutation p = nested_dissection_grid2d(9, 7);
+  EXPECT_EQ(p.n(), 63);
+  const sparse::Permutation q = nested_dissection_grid3d(4, 5, 3);
+  EXPECT_EQ(q.n(), 60);
+}
+
+TEST(NestedDissection, SeparatorDisconnects) {
+  sparse::SymmetricCsc a = sparse::grid2d(10, 10);
+  sparse::Graph g = sparse::Graph::from_symmetric(a);
+  Separator s = find_vertex_separator(g);
+  EXPECT_FALSE(s.left.empty());
+  EXPECT_FALSE(s.right.empty());
+  EXPECT_FALSE(s.sep.empty());
+  EXPECT_EQ(static_cast<index_t>(s.left.size() + s.right.size() +
+                                 s.sep.size()),
+            g.n());
+  // No edge may connect left to right.
+  std::vector<int> side(static_cast<std::size_t>(g.n()), -1);
+  for (index_t v : s.left) side[static_cast<std::size_t>(v)] = 0;
+  for (index_t v : s.right) side[static_cast<std::size_t>(v)] = 1;
+  for (index_t v : s.left) {
+    for (index_t u : g.neighbors(v)) {
+      EXPECT_NE(side[static_cast<std::size_t>(u)], 1)
+          << "edge " << v << "-" << u << " crosses the separator";
+    }
+  }
+  // A good grid separator is O(sqrt(n)).
+  EXPECT_LT(static_cast<index_t>(s.sep.size()), 25);
+}
+
+TEST(NestedDissection, GeneralNdBeatsNaturalOnShuffledGrid) {
+  Rng rng(9);
+  sparse::SymmetricCsc a0 = sparse::grid2d(14, 14);
+  std::vector<index_t> shuffled(static_cast<std::size_t>(a0.n()));
+  std::iota(shuffled.begin(), shuffled.end(), index_t{0});
+  rng.shuffle(shuffled);
+  sparse::SymmetricCsc a =
+      sparse::permute_symmetric(a0, sparse::Permutation(shuffled));
+  const nnz_t natural = fill_under(a, sparse::Permutation(a.n()));
+  const nnz_t nd = fill_under(a, nested_dissection(a));
+  EXPECT_LT(nd, natural);
+}
+
+TEST(NestedDissection, GeometricNdNearOptimalFill) {
+  // Geometric ND on a k x k grid should give nnz(L) = O(N log N): check
+  // the constant stays small versus the natural (banded) ordering's
+  // O(N^{1.5}).
+  const index_t k = 24;
+  sparse::SymmetricCsc a = sparse::grid2d(k, k);
+  const nnz_t natural = fill_under(a, sparse::Permutation(a.n()));
+  const nnz_t nd = fill_under(a, nested_dissection_grid2d(k, k));
+  EXPECT_LT(nd, 3 * natural / 4);
+  // Asymptotics: ND fill (O(N log N)) must grow strictly slower than the
+  // banded natural ordering's O(N^{3/2}).
+  const index_t k2 = 48;
+  sparse::SymmetricCsc a2 = sparse::grid2d(k2, k2);
+  const nnz_t natural2 = fill_under(a2, sparse::Permutation(a2.n()));
+  const nnz_t nd2 = fill_under(a2, nested_dissection_grid2d(k2, k2));
+  const double nd_growth = static_cast<double>(nd2) / static_cast<double>(nd);
+  const double nat_growth =
+      static_cast<double>(natural2) / static_cast<double>(natural);
+  EXPECT_LT(nd_growth, 0.8 * nat_growth);
+}
+
+TEST(Multilevel, SeparatorIsValidOnLargeGraphs) {
+  Rng rng(12);
+  for (int which = 0; which < 2; ++which) {
+    sparse::SymmetricCsc a = which == 0
+                                 ? sparse::grid2d(40, 40)
+                                 : sparse::jittered_mesh2d(35, 35, rng);
+    sparse::Graph g = sparse::Graph::from_symmetric(a);
+    Separator s = multilevel_vertex_separator(g);
+    EXPECT_EQ(static_cast<index_t>(s.left.size() + s.right.size() +
+                                   s.sep.size()),
+              g.n());
+    // Sides are balanced and genuinely separated.
+    EXPECT_GT(s.left.size(), static_cast<std::size_t>(g.n()) / 5);
+    EXPECT_GT(s.right.size(), static_cast<std::size_t>(g.n()) / 5);
+    std::vector<int> side(static_cast<std::size_t>(g.n()), -1);
+    for (index_t v : s.left) side[static_cast<std::size_t>(v)] = 0;
+    for (index_t v : s.right) side[static_cast<std::size_t>(v)] = 1;
+    for (index_t v : s.left) {
+      for (index_t u : g.neighbors(v)) {
+        EXPECT_NE(side[static_cast<std::size_t>(u)], 1);
+      }
+    }
+    // A multilevel separator of a planar-ish graph stays O(sqrt n)-sized.
+    EXPECT_LT(s.sep.size(), static_cast<std::size_t>(g.n()) / 8);
+  }
+}
+
+TEST(Multilevel, ImprovesFillOnIrregularMesh) {
+  Rng rng(13);
+  sparse::SymmetricCsc a0 = sparse::jittered_mesh2d(50, 50, rng);
+  std::vector<index_t> sh(static_cast<std::size_t>(a0.n()));
+  std::iota(sh.begin(), sh.end(), index_t{0});
+  rng.shuffle(sh);
+  sparse::SymmetricCsc a =
+      sparse::permute_symmetric(a0, sparse::Permutation(sh));
+  NdOptions without;
+  without.multilevel = false;
+  NdOptions with;
+  with.multilevel = true;
+  const nnz_t f0 = fill_under(a, nested_dissection(a, without));
+  const nnz_t f1 = fill_under(a, nested_dissection(a, with));
+  // The best-of-both policy must never lose by more than noise, and on
+  // irregular meshes it should win.
+  EXPECT_LE(f1, f0);
+}
+
+TEST(NestedDissection, HandlesDisconnectedGraphs) {
+  // Two disjoint grids in one matrix.
+  sparse::Triplets t(18, 18);
+  auto add_grid = [&t](index_t base) {
+    for (index_t i = 0; i < 9; ++i) t.add(base + i, base + i, 5.0);
+    for (index_t y = 0; y < 3; ++y) {
+      for (index_t x = 0; x < 3; ++x) {
+        const index_t v = base + y * 3 + x;
+        if (x + 1 < 3) t.add(v + 1, v, -1.0);
+        if (y + 1 < 3) t.add(v + 3, v, -1.0);
+      }
+    }
+  };
+  add_grid(0);
+  add_grid(9);
+  sparse::SymmetricCsc a = sparse::SymmetricCsc::from_triplets(t);
+  EXPECT_EQ(nested_dissection(a).n(), 18);
+  EXPECT_EQ(rcm(a).n(), 18);
+  EXPECT_EQ(minimum_degree(a).n(), 18);
+}
+
+}  // namespace
+}  // namespace sparts::ordering
