@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_1d_vs_2d_solve.dir/bench_1d_vs_2d_solve.cpp.o"
+  "CMakeFiles/bench_1d_vs_2d_solve.dir/bench_1d_vs_2d_solve.cpp.o.d"
+  "bench_1d_vs_2d_solve"
+  "bench_1d_vs_2d_solve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_1d_vs_2d_solve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_1d_vs_2d_solve.
+# This may be replaced when dependencies are built.

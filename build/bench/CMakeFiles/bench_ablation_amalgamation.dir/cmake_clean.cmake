@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_amalgamation.dir/bench_ablation_amalgamation.cpp.o"
+  "CMakeFiles/bench_ablation_amalgamation.dir/bench_ablation_amalgamation.cpp.o.d"
+  "bench_ablation_amalgamation"
+  "bench_ablation_amalgamation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_amalgamation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

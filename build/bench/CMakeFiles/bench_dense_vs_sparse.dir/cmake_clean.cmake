@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dense_vs_sparse.dir/bench_dense_vs_sparse.cpp.o"
+  "CMakeFiles/bench_dense_vs_sparse.dir/bench_dense_vs_sparse.cpp.o.d"
+  "bench_dense_vs_sparse"
+  "bench_dense_vs_sparse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dense_vs_sparse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

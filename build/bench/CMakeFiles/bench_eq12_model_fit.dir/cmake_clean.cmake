@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_eq12_model_fit.dir/bench_eq12_model_fit.cpp.o"
+  "CMakeFiles/bench_eq12_model_fit.dir/bench_eq12_model_fit.cpp.o.d"
+  "bench_eq12_model_fit"
+  "bench_eq12_model_fit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_eq12_model_fit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_pipeline_back.dir/bench_fig4_pipeline_back.cpp.o"
+  "CMakeFiles/bench_fig4_pipeline_back.dir/bench_fig4_pipeline_back.cpp.o.d"
+  "bench_fig4_pipeline_back"
+  "bench_fig4_pipeline_back.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_pipeline_back.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_parallel_phases.dir/bench_parallel_phases.cpp.o"
+  "CMakeFiles/bench_parallel_phases.dir/bench_parallel_phases.cpp.o.d"
+  "bench_parallel_phases"
+  "bench_parallel_phases.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_parallel_phases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_redist_ratio.dir/bench_redist_ratio.cpp.o"
+  "CMakeFiles/bench_redist_ratio.dir/bench_redist_ratio.cpp.o.d"
+  "bench_redist_ratio"
+  "bench_redist_ratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_redist_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

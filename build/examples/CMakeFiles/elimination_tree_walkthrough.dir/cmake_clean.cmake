@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elimination_tree_walkthrough.dir/elimination_tree_walkthrough.cpp.o"
+  "CMakeFiles/elimination_tree_walkthrough.dir/elimination_tree_walkthrough.cpp.o.d"
+  "elimination_tree_walkthrough"
+  "elimination_tree_walkthrough.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elimination_tree_walkthrough.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

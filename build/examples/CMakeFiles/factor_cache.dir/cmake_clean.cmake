@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/factor_cache.dir/factor_cache.cpp.o"
+  "CMakeFiles/factor_cache.dir/factor_cache.cpp.o.d"
+  "factor_cache"
+  "factor_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/factor_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/poisson2d_orderings.dir/poisson2d_orderings.cpp.o"
+  "CMakeFiles/poisson2d_orderings.dir/poisson2d_orderings.cpp.o.d"
+  "poisson2d_orderings"
+  "poisson2d_orderings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/poisson2d_orderings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/structural3d_multirhs.dir/structural3d_multirhs.cpp.o"
+  "CMakeFiles/structural3d_multirhs.dir/structural3d_multirhs.cpp.o.d"
+  "structural3d_multirhs"
+  "structural3d_multirhs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/structural3d_multirhs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for structural3d_multirhs.
+# This may be replaced when dependencies are built.

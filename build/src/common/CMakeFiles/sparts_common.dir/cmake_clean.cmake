@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparts_common.dir/error.cpp.o"
+  "CMakeFiles/sparts_common.dir/error.cpp.o.d"
+  "CMakeFiles/sparts_common.dir/rng.cpp.o"
+  "CMakeFiles/sparts_common.dir/rng.cpp.o.d"
+  "CMakeFiles/sparts_common.dir/table.cpp.o"
+  "CMakeFiles/sparts_common.dir/table.cpp.o.d"
+  "CMakeFiles/sparts_common.dir/timer.cpp.o"
+  "CMakeFiles/sparts_common.dir/timer.cpp.o.d"
+  "libsparts_common.a"
+  "libsparts_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparts_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

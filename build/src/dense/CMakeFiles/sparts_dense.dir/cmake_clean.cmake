@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparts_dense.dir/cholesky.cpp.o"
+  "CMakeFiles/sparts_dense.dir/cholesky.cpp.o.d"
+  "CMakeFiles/sparts_dense.dir/kernels.cpp.o"
+  "CMakeFiles/sparts_dense.dir/kernels.cpp.o.d"
+  "CMakeFiles/sparts_dense.dir/matrix.cpp.o"
+  "CMakeFiles/sparts_dense.dir/matrix.cpp.o.d"
+  "libsparts_dense.a"
+  "libsparts_dense.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparts_dense.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mapping/block_cyclic.cpp" "src/mapping/CMakeFiles/sparts_mapping.dir/block_cyclic.cpp.o" "gcc" "src/mapping/CMakeFiles/sparts_mapping.dir/block_cyclic.cpp.o.d"
+  "/root/repo/src/mapping/load_balance.cpp" "src/mapping/CMakeFiles/sparts_mapping.dir/load_balance.cpp.o" "gcc" "src/mapping/CMakeFiles/sparts_mapping.dir/load_balance.cpp.o.d"
+  "/root/repo/src/mapping/subtree_to_subcube.cpp" "src/mapping/CMakeFiles/sparts_mapping.dir/subtree_to_subcube.cpp.o" "gcc" "src/mapping/CMakeFiles/sparts_mapping.dir/subtree_to_subcube.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sparts_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/symbolic/CMakeFiles/sparts_symbolic.dir/DependInfo.cmake"
+  "/root/repo/build/src/simpar/CMakeFiles/sparts_simpar.dir/DependInfo.cmake"
+  "/root/repo/build/src/ordering/CMakeFiles/sparts_ordering.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparse/CMakeFiles/sparts_sparse.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

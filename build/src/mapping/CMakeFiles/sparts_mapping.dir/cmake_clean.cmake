@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparts_mapping.dir/block_cyclic.cpp.o"
+  "CMakeFiles/sparts_mapping.dir/block_cyclic.cpp.o.d"
+  "CMakeFiles/sparts_mapping.dir/load_balance.cpp.o"
+  "CMakeFiles/sparts_mapping.dir/load_balance.cpp.o.d"
+  "CMakeFiles/sparts_mapping.dir/subtree_to_subcube.cpp.o"
+  "CMakeFiles/sparts_mapping.dir/subtree_to_subcube.cpp.o.d"
+  "libsparts_mapping.a"
+  "libsparts_mapping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparts_mapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

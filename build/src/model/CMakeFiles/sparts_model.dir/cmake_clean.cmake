@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparts_model.dir/model.cpp.o"
+  "CMakeFiles/sparts_model.dir/model.cpp.o.d"
+  "libsparts_model.a"
+  "libsparts_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparts_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/numeric/factor_io.cpp" "src/numeric/CMakeFiles/sparts_numeric.dir/factor_io.cpp.o" "gcc" "src/numeric/CMakeFiles/sparts_numeric.dir/factor_io.cpp.o.d"
+  "/root/repo/src/numeric/ldlt.cpp" "src/numeric/CMakeFiles/sparts_numeric.dir/ldlt.cpp.o" "gcc" "src/numeric/CMakeFiles/sparts_numeric.dir/ldlt.cpp.o.d"
+  "/root/repo/src/numeric/multifrontal.cpp" "src/numeric/CMakeFiles/sparts_numeric.dir/multifrontal.cpp.o" "gcc" "src/numeric/CMakeFiles/sparts_numeric.dir/multifrontal.cpp.o.d"
+  "/root/repo/src/numeric/simplicial.cpp" "src/numeric/CMakeFiles/sparts_numeric.dir/simplicial.cpp.o" "gcc" "src/numeric/CMakeFiles/sparts_numeric.dir/simplicial.cpp.o.d"
+  "/root/repo/src/numeric/supernodal_factor.cpp" "src/numeric/CMakeFiles/sparts_numeric.dir/supernodal_factor.cpp.o" "gcc" "src/numeric/CMakeFiles/sparts_numeric.dir/supernodal_factor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sparts_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparse/CMakeFiles/sparts_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/symbolic/CMakeFiles/sparts_symbolic.dir/DependInfo.cmake"
+  "/root/repo/build/src/ordering/CMakeFiles/sparts_ordering.dir/DependInfo.cmake"
+  "/root/repo/build/src/dense/CMakeFiles/sparts_dense.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparts_numeric.dir/factor_io.cpp.o"
+  "CMakeFiles/sparts_numeric.dir/factor_io.cpp.o.d"
+  "CMakeFiles/sparts_numeric.dir/ldlt.cpp.o"
+  "CMakeFiles/sparts_numeric.dir/ldlt.cpp.o.d"
+  "CMakeFiles/sparts_numeric.dir/multifrontal.cpp.o"
+  "CMakeFiles/sparts_numeric.dir/multifrontal.cpp.o.d"
+  "CMakeFiles/sparts_numeric.dir/simplicial.cpp.o"
+  "CMakeFiles/sparts_numeric.dir/simplicial.cpp.o.d"
+  "CMakeFiles/sparts_numeric.dir/supernodal_factor.cpp.o"
+  "CMakeFiles/sparts_numeric.dir/supernodal_factor.cpp.o.d"
+  "libsparts_numeric.a"
+  "libsparts_numeric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparts_numeric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ordering/etree.cpp" "src/ordering/CMakeFiles/sparts_ordering.dir/etree.cpp.o" "gcc" "src/ordering/CMakeFiles/sparts_ordering.dir/etree.cpp.o.d"
+  "/root/repo/src/ordering/mindeg.cpp" "src/ordering/CMakeFiles/sparts_ordering.dir/mindeg.cpp.o" "gcc" "src/ordering/CMakeFiles/sparts_ordering.dir/mindeg.cpp.o.d"
+  "/root/repo/src/ordering/multilevel.cpp" "src/ordering/CMakeFiles/sparts_ordering.dir/multilevel.cpp.o" "gcc" "src/ordering/CMakeFiles/sparts_ordering.dir/multilevel.cpp.o.d"
+  "/root/repo/src/ordering/nested_dissection.cpp" "src/ordering/CMakeFiles/sparts_ordering.dir/nested_dissection.cpp.o" "gcc" "src/ordering/CMakeFiles/sparts_ordering.dir/nested_dissection.cpp.o.d"
+  "/root/repo/src/ordering/rcm.cpp" "src/ordering/CMakeFiles/sparts_ordering.dir/rcm.cpp.o" "gcc" "src/ordering/CMakeFiles/sparts_ordering.dir/rcm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sparts_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparse/CMakeFiles/sparts_sparse.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparts_ordering.dir/etree.cpp.o"
+  "CMakeFiles/sparts_ordering.dir/etree.cpp.o.d"
+  "CMakeFiles/sparts_ordering.dir/mindeg.cpp.o"
+  "CMakeFiles/sparts_ordering.dir/mindeg.cpp.o.d"
+  "CMakeFiles/sparts_ordering.dir/multilevel.cpp.o"
+  "CMakeFiles/sparts_ordering.dir/multilevel.cpp.o.d"
+  "CMakeFiles/sparts_ordering.dir/nested_dissection.cpp.o"
+  "CMakeFiles/sparts_ordering.dir/nested_dissection.cpp.o.d"
+  "CMakeFiles/sparts_ordering.dir/rcm.cpp.o"
+  "CMakeFiles/sparts_ordering.dir/rcm.cpp.o.d"
+  "libsparts_ordering.a"
+  "libsparts_ordering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparts_ordering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

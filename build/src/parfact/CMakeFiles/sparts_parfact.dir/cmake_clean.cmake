@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparts_parfact.dir/parfact.cpp.o"
+  "CMakeFiles/sparts_parfact.dir/parfact.cpp.o.d"
+  "CMakeFiles/sparts_parfact.dir/parsymbolic.cpp.o"
+  "CMakeFiles/sparts_parfact.dir/parsymbolic.cpp.o.d"
+  "libsparts_parfact.a"
+  "libsparts_parfact.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparts_parfact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

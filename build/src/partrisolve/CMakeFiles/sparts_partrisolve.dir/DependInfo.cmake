@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/partrisolve/dense_trisolve.cpp" "src/partrisolve/CMakeFiles/sparts_partrisolve.dir/dense_trisolve.cpp.o" "gcc" "src/partrisolve/CMakeFiles/sparts_partrisolve.dir/dense_trisolve.cpp.o.d"
+  "/root/repo/src/partrisolve/dist_factor.cpp" "src/partrisolve/CMakeFiles/sparts_partrisolve.dir/dist_factor.cpp.o" "gcc" "src/partrisolve/CMakeFiles/sparts_partrisolve.dir/dist_factor.cpp.o.d"
+  "/root/repo/src/partrisolve/packets.cpp" "src/partrisolve/CMakeFiles/sparts_partrisolve.dir/packets.cpp.o" "gcc" "src/partrisolve/CMakeFiles/sparts_partrisolve.dir/packets.cpp.o.d"
+  "/root/repo/src/partrisolve/partrisolve.cpp" "src/partrisolve/CMakeFiles/sparts_partrisolve.dir/partrisolve.cpp.o" "gcc" "src/partrisolve/CMakeFiles/sparts_partrisolve.dir/partrisolve.cpp.o.d"
+  "/root/repo/src/partrisolve/twodim.cpp" "src/partrisolve/CMakeFiles/sparts_partrisolve.dir/twodim.cpp.o" "gcc" "src/partrisolve/CMakeFiles/sparts_partrisolve.dir/twodim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sparts_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/numeric/CMakeFiles/sparts_numeric.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapping/CMakeFiles/sparts_mapping.dir/DependInfo.cmake"
+  "/root/repo/build/src/simpar/CMakeFiles/sparts_simpar.dir/DependInfo.cmake"
+  "/root/repo/build/src/dense/CMakeFiles/sparts_dense.dir/DependInfo.cmake"
+  "/root/repo/build/src/symbolic/CMakeFiles/sparts_symbolic.dir/DependInfo.cmake"
+  "/root/repo/build/src/ordering/CMakeFiles/sparts_ordering.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparse/CMakeFiles/sparts_sparse.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparts_partrisolve.dir/dense_trisolve.cpp.o"
+  "CMakeFiles/sparts_partrisolve.dir/dense_trisolve.cpp.o.d"
+  "CMakeFiles/sparts_partrisolve.dir/dist_factor.cpp.o"
+  "CMakeFiles/sparts_partrisolve.dir/dist_factor.cpp.o.d"
+  "CMakeFiles/sparts_partrisolve.dir/packets.cpp.o"
+  "CMakeFiles/sparts_partrisolve.dir/packets.cpp.o.d"
+  "CMakeFiles/sparts_partrisolve.dir/partrisolve.cpp.o"
+  "CMakeFiles/sparts_partrisolve.dir/partrisolve.cpp.o.d"
+  "CMakeFiles/sparts_partrisolve.dir/twodim.cpp.o"
+  "CMakeFiles/sparts_partrisolve.dir/twodim.cpp.o.d"
+  "libsparts_partrisolve.a"
+  "libsparts_partrisolve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparts_partrisolve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

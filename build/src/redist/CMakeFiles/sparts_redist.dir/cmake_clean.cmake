@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparts_redist.dir/redist.cpp.o"
+  "CMakeFiles/sparts_redist.dir/redist.cpp.o.d"
+  "libsparts_redist.a"
+  "libsparts_redist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparts_redist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

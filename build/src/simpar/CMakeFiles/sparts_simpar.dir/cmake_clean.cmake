@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparts_simpar.dir/collectives.cpp.o"
+  "CMakeFiles/sparts_simpar.dir/collectives.cpp.o.d"
+  "CMakeFiles/sparts_simpar.dir/machine.cpp.o"
+  "CMakeFiles/sparts_simpar.dir/machine.cpp.o.d"
+  "libsparts_simpar.a"
+  "libsparts_simpar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparts_simpar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparts_solver.dir/condest.cpp.o"
+  "CMakeFiles/sparts_solver.dir/condest.cpp.o.d"
+  "CMakeFiles/sparts_solver.dir/report.cpp.o"
+  "CMakeFiles/sparts_solver.dir/report.cpp.o.d"
+  "CMakeFiles/sparts_solver.dir/sparse_solver.cpp.o"
+  "CMakeFiles/sparts_solver.dir/sparse_solver.cpp.o.d"
+  "CMakeFiles/sparts_solver.dir/workloads.cpp.o"
+  "CMakeFiles/sparts_solver.dir/workloads.cpp.o.d"
+  "libsparts_solver.a"
+  "libsparts_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparts_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sparse/formats.cpp" "src/sparse/CMakeFiles/sparts_sparse.dir/formats.cpp.o" "gcc" "src/sparse/CMakeFiles/sparts_sparse.dir/formats.cpp.o.d"
+  "/root/repo/src/sparse/generators.cpp" "src/sparse/CMakeFiles/sparts_sparse.dir/generators.cpp.o" "gcc" "src/sparse/CMakeFiles/sparts_sparse.dir/generators.cpp.o.d"
+  "/root/repo/src/sparse/io.cpp" "src/sparse/CMakeFiles/sparts_sparse.dir/io.cpp.o" "gcc" "src/sparse/CMakeFiles/sparts_sparse.dir/io.cpp.o.d"
+  "/root/repo/src/sparse/permutation.cpp" "src/sparse/CMakeFiles/sparts_sparse.dir/permutation.cpp.o" "gcc" "src/sparse/CMakeFiles/sparts_sparse.dir/permutation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sparts_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

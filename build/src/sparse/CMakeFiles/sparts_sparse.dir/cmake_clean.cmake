@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparts_sparse.dir/formats.cpp.o"
+  "CMakeFiles/sparts_sparse.dir/formats.cpp.o.d"
+  "CMakeFiles/sparts_sparse.dir/generators.cpp.o"
+  "CMakeFiles/sparts_sparse.dir/generators.cpp.o.d"
+  "CMakeFiles/sparts_sparse.dir/io.cpp.o"
+  "CMakeFiles/sparts_sparse.dir/io.cpp.o.d"
+  "CMakeFiles/sparts_sparse.dir/permutation.cpp.o"
+  "CMakeFiles/sparts_sparse.dir/permutation.cpp.o.d"
+  "libsparts_sparse.a"
+  "libsparts_sparse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparts_sparse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparts_symbolic.dir/supernodes.cpp.o"
+  "CMakeFiles/sparts_symbolic.dir/supernodes.cpp.o.d"
+  "CMakeFiles/sparts_symbolic.dir/symbolic.cpp.o"
+  "CMakeFiles/sparts_symbolic.dir/symbolic.cpp.o.d"
+  "libsparts_symbolic.a"
+  "libsparts_symbolic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparts_symbolic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

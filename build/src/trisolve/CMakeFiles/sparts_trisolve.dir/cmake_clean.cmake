@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparts_trisolve.dir/trisolve.cpp.o"
+  "CMakeFiles/sparts_trisolve.dir/trisolve.cpp.o.d"
+  "libsparts_trisolve.a"
+  "libsparts_trisolve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparts_trisolve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsparts_trisolve.a"
+)

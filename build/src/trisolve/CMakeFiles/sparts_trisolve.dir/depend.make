@@ -1,0 +1,2 @@
+# Empty dependencies file for sparts_trisolve.
+# This may be replaced when dependencies are built.

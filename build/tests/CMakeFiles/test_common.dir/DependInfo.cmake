@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_common.cpp" "tests/CMakeFiles/test_common.dir/test_common.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/test_common.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/sparts_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/sparts_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/trisolve/CMakeFiles/sparts_trisolve.dir/DependInfo.cmake"
+  "/root/repo/build/src/parfact/CMakeFiles/sparts_parfact.dir/DependInfo.cmake"
+  "/root/repo/build/src/redist/CMakeFiles/sparts_redist.dir/DependInfo.cmake"
+  "/root/repo/build/src/partrisolve/CMakeFiles/sparts_partrisolve.dir/DependInfo.cmake"
+  "/root/repo/build/src/numeric/CMakeFiles/sparts_numeric.dir/DependInfo.cmake"
+  "/root/repo/build/src/dense/CMakeFiles/sparts_dense.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapping/CMakeFiles/sparts_mapping.dir/DependInfo.cmake"
+  "/root/repo/build/src/symbolic/CMakeFiles/sparts_symbolic.dir/DependInfo.cmake"
+  "/root/repo/build/src/ordering/CMakeFiles/sparts_ordering.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparse/CMakeFiles/sparts_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/simpar/CMakeFiles/sparts_simpar.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sparts_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

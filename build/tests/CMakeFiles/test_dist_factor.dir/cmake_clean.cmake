@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dist_factor.dir/test_dist_factor.cpp.o"
+  "CMakeFiles/test_dist_factor.dir/test_dist_factor.cpp.o.d"
+  "test_dist_factor"
+  "test_dist_factor.pdb"
+  "test_dist_factor[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dist_factor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_layout_loadbalance.dir/test_layout_loadbalance.cpp.o"
+  "CMakeFiles/test_layout_loadbalance.dir/test_layout_loadbalance.cpp.o.d"
+  "test_layout_loadbalance"
+  "test_layout_loadbalance.pdb"
+  "test_layout_loadbalance[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_layout_loadbalance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

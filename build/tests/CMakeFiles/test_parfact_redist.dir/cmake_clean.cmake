@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_parfact_redist.dir/test_parfact_redist.cpp.o"
+  "CMakeFiles/test_parfact_redist.dir/test_parfact_redist.cpp.o.d"
+  "test_parfact_redist"
+  "test_parfact_redist.pdb"
+  "test_parfact_redist[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_parfact_redist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

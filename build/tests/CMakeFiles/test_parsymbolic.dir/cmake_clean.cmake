@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_parsymbolic.dir/test_parsymbolic.cpp.o"
+  "CMakeFiles/test_parsymbolic.dir/test_parsymbolic.cpp.o.d"
+  "test_parsymbolic"
+  "test_parsymbolic.pdb"
+  "test_parsymbolic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_parsymbolic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_partrisolve.dir/test_partrisolve.cpp.o"
+  "CMakeFiles/test_partrisolve.dir/test_partrisolve.cpp.o.d"
+  "test_partrisolve"
+  "test_partrisolve.pdb"
+  "test_partrisolve[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_partrisolve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_collectives.dir/test_sim_collectives.cpp.o"
+  "CMakeFiles/test_sim_collectives.dir/test_sim_collectives.cpp.o.d"
+  "test_sim_collectives"
+  "test_sim_collectives.pdb"
+  "test_sim_collectives[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_collectives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

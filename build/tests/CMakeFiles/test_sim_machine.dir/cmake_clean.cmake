@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_machine.dir/test_sim_machine.cpp.o"
+  "CMakeFiles/test_sim_machine.dir/test_sim_machine.cpp.o.d"
+  "test_sim_machine"
+  "test_sim_machine.pdb"
+  "test_sim_machine[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_solver_model.dir/test_solver_model.cpp.o"
+  "CMakeFiles/test_solver_model.dir/test_solver_model.cpp.o.d"
+  "test_solver_model"
+  "test_solver_model.pdb"
+  "test_solver_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_solver_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_smoke[1]_include.cmake")
+include("/root/repo/build/tests/test_sim_machine[1]_include.cmake")
+include("/root/repo/build/tests/test_sim_collectives[1]_include.cmake")
+include("/root/repo/build/tests/test_mapping[1]_include.cmake")
+include("/root/repo/build/tests/test_partrisolve[1]_include.cmake")
+include("/root/repo/build/tests/test_parfact_redist[1]_include.cmake")
+include("/root/repo/build/tests/test_dense[1]_include.cmake")
+include("/root/repo/build/tests/test_sparse[1]_include.cmake")
+include("/root/repo/build/tests/test_ordering[1]_include.cmake")
+include("/root/repo/build/tests/test_symbolic[1]_include.cmake")
+include("/root/repo/build/tests/test_numeric[1]_include.cmake")
+include("/root/repo/build/tests/test_solver_model[1]_include.cmake")
+include("/root/repo/build/tests/test_ldlt_refine[1]_include.cmake")
+include("/root/repo/build/tests/test_layout_loadbalance[1]_include.cmake")
+include("/root/repo/build/tests/test_dist_factor[1]_include.cmake")
+include("/root/repo/build/tests/test_twodim[1]_include.cmake")
+include("/root/repo/build/tests/test_parsymbolic[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparts_gen.dir/sparts_gen.cpp.o"
+  "CMakeFiles/sparts_gen.dir/sparts_gen.cpp.o.d"
+  "sparts_gen"
+  "sparts_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparts_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparts_solve.dir/sparts_solve.cpp.o"
+  "CMakeFiles/sparts_solve.dir/sparts_solve.cpp.o.d"
+  "sparts_solve"
+  "sparts_solve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparts_solve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

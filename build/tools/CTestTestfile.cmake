@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_grid2d "/root/repo/build/tools/sparts_solve" "--grid2d" "12" "--nrhs" "2")
+set_tests_properties(cli_grid2d PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_grid3d_parallel "/root/repo/build/tools/sparts_solve" "--grid3d" "6" "--procs" "8")
+set_tests_properties(cli_grid3d_parallel PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_refine "/root/repo/build/tools/sparts_solve" "--grid2d" "10" "--refine" "2" "--ordering" "md")
+set_tests_properties(cli_refine PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_amalgamate "/root/repo/build/tools/sparts_solve" "--grid2d" "14" "--amalgamate" "16,8")
+set_tests_properties(cli_amalgamate PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_report "/root/repo/build/tools/sparts_solve" "--grid2d" "10" "--report")
+set_tests_properties(cli_report PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_gen_and_solve "sh" "-c" "/root/repo/build/tools/sparts_gen --grid2d 9 --dof 2 -o /root/repo/build/tools/t.mtx && /root/repo/build/tools/sparts_solve --matrix /root/repo/build/tools/t.mtx --nrhs 2")
+set_tests_properties(cli_gen_and_solve PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_bad_args "/root/repo/build/tools/sparts_solve" "--bogus")
+set_tests_properties(cli_bad_args PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;15;add_test;/root/repo/tools/CMakeLists.txt;0;")
