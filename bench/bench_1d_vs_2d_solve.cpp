@@ -10,6 +10,7 @@
 #include <iostream>
 #include <vector>
 
+#include "exec/stats.hpp"
 #include "bench_common.hpp"
 #include "dense/cholesky.hpp"
 #include "dense/kernels.hpp"
@@ -17,6 +18,7 @@
 #include "partrisolve/dense_trisolve.hpp"
 #include "partrisolve/twodim.hpp"
 #include "simpar/collectives.hpp"
+#include "simpar/machine.hpp"
 
 namespace sparts::bench {
 namespace {
@@ -164,8 +166,8 @@ void run() {
     table.add(t1d, 5);
     table.add(t2d, 5);
     table.add(t2d / t1d, 2);
-    table.add(t1_1d / (static_cast<double>(p) * t1d), 3);
-    table.add(t1_2d / (static_cast<double>(p) * t2d), 3);
+    table.add(exec::efficiency(t1_1d, p, t1d), 3);
+    table.add(exec::efficiency(t1_2d, p, t2d), 3);
   }
   std::cout << table;
 

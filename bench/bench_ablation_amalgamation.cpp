@@ -10,6 +10,7 @@
 #include <iostream>
 
 #include "bench_common.hpp"
+#include "simpar/machine.hpp"
 
 namespace sparts::bench {
 namespace {

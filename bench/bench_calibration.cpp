@@ -7,6 +7,7 @@
 
 #include "bench_common.hpp"
 #include "parfact/parfact.hpp"
+#include "simpar/machine.hpp"
 
 namespace sparts::bench {
 namespace {

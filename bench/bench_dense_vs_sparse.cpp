@@ -8,8 +8,10 @@
 #include <cmath>
 #include <iostream>
 
+#include "exec/stats.hpp"
 #include "bench_common.hpp"
 #include "partrisolve/dense_trisolve.hpp"
+#include "simpar/machine.hpp"
 
 namespace sparts::bench {
 namespace {
@@ -46,10 +48,9 @@ void run() {
     table.new_row();
     table.add(static_cast<long long>(p));
     table.add(sp.fb_time, 5);
-    table.add(sparse_serial.fb_time / (static_cast<double>(p) * sp.fb_time),
-              3);
+    table.add(exec::efficiency(sparse_serial.fb_time, p, sp.fb_time), 3);
     table.add(dt, 5);
-    table.add(dense_serial / (static_cast<double>(p) * dt), 3);
+    table.add(exec::efficiency(dense_serial, p, dt), 3);
   }
   std::cout << table;
   std::cout << "\nPaper reference shape: both efficiency columns decay "

@@ -14,6 +14,7 @@
 
 #include "bench_common.hpp"
 #include "partrisolve/dense_trisolve.hpp"
+#include "simpar/machine.hpp"
 
 namespace sparts::bench {
 namespace {

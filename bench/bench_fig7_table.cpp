@@ -7,9 +7,11 @@
 // the paper's layout.
 #include <iostream>
 
+#include "exec/stats.hpp"
 #include "bench_common.hpp"
 #include "parfact/parfact.hpp"
 #include "redist/redist.hpp"
+#include "simpar/machine.hpp"
 
 namespace sparts::bench {
 namespace {
@@ -62,7 +64,7 @@ void run_panel(const PreparedProblem& prob, index_t p) {
     table.add(static_cast<long long>(m));
     table.add(par.fb_time, 4);
     table.add(par.mflops, 1);
-    table.add(one.fb_time / par.fb_time, 2);
+    table.add(exec::speedup(one.fb_time, par.fb_time), 2);
   }
   std::cout << table;
 }

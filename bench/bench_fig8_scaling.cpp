@@ -8,6 +8,7 @@
 //     right-hand sides (BLAS-3 effect + amortized index computation).
 #include <iostream>
 
+#include "exec/stats.hpp"
 #include "bench_common.hpp"
 
 namespace sparts::bench {
@@ -33,7 +34,7 @@ void run_matrix(const PreparedProblem& prob) {
       if (p == 1) first = meas.fb_time;
       last = meas.fb_time;
     }
-    table.add(first / last, 2);
+    table.add(exec::speedup(first, last), 2);
   }
   std::cout << table;
 }

@@ -7,6 +7,7 @@
 #include <cmath>
 #include <iostream>
 
+#include "exec/stats.hpp"
 #include "bench_common.hpp"
 
 namespace sparts::bench {
@@ -54,7 +55,7 @@ void run() {
       const SolveMeasurement serial = measure_solve(prob, 1, 1);
       const SolveMeasurement par = measure_solve(prob, p, 1);
       const double eff =
-          serial.fb_time / (static_cast<double>(p) * par.fb_time);
+          exec::efficiency(serial.fb_time, p, par.fb_time);
       if (variant == 0) {
         row.n_quad = prob.a.n();
         row.eff_quad = eff;

@@ -15,6 +15,7 @@
 #include "parfact/parfact.hpp"
 #include "parfact/parsymbolic.hpp"
 #include "redist/redist.hpp"
+#include "simpar/machine.hpp"
 
 namespace sparts::bench {
 namespace {

@@ -1,0 +1,90 @@
+// E15 — real threads vs. the simulator: the same DistributedTrisolver
+// source runs on exec::ThreadBackend (one std::thread per rank, wall-clock
+// times) and on simpar::Machine (predicted T3D seconds).  Reported per
+// processor count:
+//   * measured wall-clock forward+backward time and speedup over 1 thread
+//     (best of several repetitions — wall clocks are noisy);
+//   * the simulator's predicted time and speedup for the same program.
+//
+// The wall-clock speedup is bounded by the physical cores of this host
+// (printed in the header): on a single-core container every thread count
+// serializes, while the predicted column shows what a T3D-like machine
+// achieves.  Workload: nested-dissection-ordered k x k grid, multi-RHS —
+// the paper's fig. 7/8 setting (default 127 x 127, m = 30; scaled by
+// SPARTS_BENCH_SCALE like every other bench).
+#include <algorithm>
+#include <thread>
+
+#include "exec/stats.hpp"
+#include "exec/thread_backend.hpp"
+#include "bench_common.hpp"
+
+namespace sparts::bench {
+namespace {
+
+/// Forward+backward wall/virtual time of one solve on `comm`.
+double solve_time(const PreparedProblem& prob, exec::Comm& comm, index_t m) {
+  const mapping::SubcubeMapping map =
+      mapping::subtree_to_subcube(prob.part, comm.nprocs());
+  partrisolve::DistributedTrisolver solver(prob.factor, map, {});
+  const index_t n = prob.a.n();
+  Rng rng(1234);
+  std::vector<real_t> b = sparse::random_rhs(n, m, rng);
+  std::vector<real_t> x(static_cast<std::size_t>(n * m), 0.0);
+  auto [fw, bw] = solver.solve(comm, b, x, m);
+  return fw.time() + bw.time();
+}
+
+void run_grid(index_t k, index_t m) {
+  PreparedProblem prob = prepare_grid(k, k);
+  std::cout << "\nworkload: " << prob.description << "  N = " << prob.a.n()
+            << "  nrhs = " << m << "  nnz(L) = " << prob.factor_nnz
+            << "\nhardware threads on this host: "
+            << std::thread::hardware_concurrency() << "\n";
+
+  TextTable table({"p", "wall fb (s)", "wall speedup", "sim fb (s)",
+                   "sim speedup"});
+  constexpr int kReps = 3;
+  double wall1 = 0.0, sim1 = 0.0;
+  for (index_t p = 1; p <= std::min<index_t>(bench_max_p(), 8); p *= 2) {
+    double wall = 0.0;
+    for (int rep = 0; rep < kReps; ++rep) {
+      exec::ThreadBackend::Config cfg;
+      cfg.nprocs = p;
+      exec::ThreadBackend backend(cfg);
+      const double t = solve_time(prob, backend, m);
+      wall = rep == 0 ? t : std::min(wall, t);
+    }
+    simpar::Machine machine(t3d_config(p));
+    const double sim = solve_time(prob, machine, m);
+    if (p == 1) {
+      wall1 = wall;
+      sim1 = sim;
+    }
+    table.new_row();
+    table.add(static_cast<long long>(p));
+    table.add(wall, 5);
+    table.add(exec::speedup(wall1, wall), 2);
+    table.add(sim, 5);
+    table.add(exec::speedup(sim1, sim), 2);
+  }
+  std::cout << table;
+}
+
+void run() {
+  print_header("E15 (real vs sim)",
+               "threaded backend wall clock vs simulator prediction");
+  const double scale = bench_scale();
+  const index_t k = std::max<index_t>(15, static_cast<index_t>(127 * scale));
+  run_grid(k, 30);
+  run_grid(k, 1);
+  std::cout << "\nReading: 'wall speedup' is real concurrency on this host "
+               "(ceiling = physical\ncores); 'sim speedup' is the "
+               "deterministic T3D prediction for the identical\nprogram.  "
+               "Set SPARTS_BENCH_SCALE=1.0 for the full 127 x 127 grid.\n";
+}
+
+}  // namespace
+}  // namespace sparts::bench
+
+int main() { sparts::bench::run(); }

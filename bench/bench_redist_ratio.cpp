@@ -8,6 +8,7 @@
 
 #include "bench_common.hpp"
 #include "redist/redist.hpp"
+#include "simpar/machine.hpp"
 
 namespace sparts::bench {
 namespace {

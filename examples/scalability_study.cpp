@@ -14,6 +14,7 @@
 #include "sparse/generators.hpp"
 #include "sparse/permutation.hpp"
 #include "trisolve/trisolve.hpp"
+#include "simpar/machine.hpp"
 
 int main() {
   using namespace sparts;

@@ -1,0 +1,143 @@
+// The backend-agnostic execution layer.
+//
+// Every parallel algorithm in this repo is written as an SPMD function
+// `void(Process&)`: the paper's pipelined trisolvers, the 2-D→1-D
+// redistribution, the multifrontal factorization, and the collectives.
+// `Process` is the handle a rank uses to talk to its peers; `Comm` is the
+// machine that runs p ranks to completion and returns their statistics.
+//
+// Two backends implement this contract:
+//   * simpar::Machine — a conservative sequential discrete-event simulator.
+//     Deterministic, cost-model clocks; reproduces the paper's T3D numbers.
+//   * exec::ThreadBackend — each rank is a real std::thread with a
+//     mutex+condvar mailbox; wall-clock timing, real speedup.
+//
+// SPMD code must not assume more than the contract gives it:
+//   * send() is asynchronous and never blocks waiting for the receiver
+//     (buffered-send semantics on both backends).
+//   * recv() blocks until a message matching (src|kAnySource, tag) exists.
+//     When several match, the backend picks its canonical one (earliest
+//     simulated arrival / first queued); code needing a total order must
+//     disambiguate with tags.
+//   * compute()/compute_at()/elapse() declare work to the backend's clock;
+//     on the threaded backend real time is measured, so these only count
+//     flops.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <functional>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+#include "exec/cost_model.hpp"
+#include "exec/stats.hpp"
+#include "exec/topology.hpp"
+
+namespace sparts::exec {
+
+/// Wildcard source rank for recv.
+inline constexpr index_t kAnySource = -1;
+
+/// A received message.
+struct ReceivedMessage {
+  index_t source = -1;
+  int tag = 0;
+  std::vector<std::byte> payload;
+};
+
+/// Handle through which SPMD code interacts with its processor.  Only valid
+/// inside Comm::run, on the thread executing that rank.
+class Process {
+ public:
+  virtual ~Process() = default;
+  Process(const Process&) = delete;
+  Process& operator=(const Process&) = delete;
+
+  virtual index_t rank() const = 0;
+  virtual index_t nprocs() const = 0;
+
+  /// Local time: simulated seconds on the simulator, wall-clock seconds
+  /// since the start of the run on the threaded backend.
+  virtual double now() const = 0;
+
+  /// Declare `flops * t_c(kind)` of computation.
+  virtual void compute(double flops, FlopKind kind = FlopKind::blas1) = 0;
+
+  /// Declare `flops` of computation at an explicit per-flop cost (used for
+  /// the BLAS-2/3 interpolation on multi-RHS panels).
+  virtual void compute_at(double flops, double seconds_per_flop) = 0;
+
+  /// Declare raw seconds of local work (e.g. fixed overheads).
+  virtual void elapse(double seconds) = 0;
+
+  /// Send `payload` to `dst` with `tag`.  Buffered-send semantics: returns
+  /// once the payload is captured, without waiting for the receiver.
+  virtual void send(index_t dst, int tag,
+                    std::span<const std::byte> payload) = 0;
+
+  /// Blocking receive.  `src` may be kAnySource.
+  virtual ReceivedMessage recv(index_t src, int tag) = 0;
+
+  virtual const CostModel& cost() const = 0;
+  virtual const Topology& topology() const = 0;
+
+  /// Typed helper: send a span of trivially copyable values.
+  template <typename T>
+  void send_values(index_t dst, int tag, std::span<const T> values) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    send(dst, tag,
+         {reinterpret_cast<const std::byte*>(values.data()),
+          values.size() * sizeof(T)});
+  }
+
+  /// Typed helper: send a single value.
+  template <typename T>
+  void send_value(index_t dst, int tag, const T& value) {
+    send_values<T>(dst, tag, {&value, 1});
+  }
+
+  /// Typed helper: receive a vector of trivially copyable values.
+  template <typename T>
+  std::vector<T> recv_values(index_t src, int tag) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    ReceivedMessage msg = recv(src, tag);
+    SPARTS_CHECK(msg.payload.size() % sizeof(T) == 0,
+                 "payload size not a multiple of the element size");
+    std::vector<T> out(msg.payload.size() / sizeof(T));
+    std::memcpy(out.data(), msg.payload.data(), msg.payload.size());
+    return out;
+  }
+
+  /// Typed helper: receive exactly one value.
+  template <typename T>
+  T recv_value(index_t src, int tag) {
+    auto v = recv_values<T>(src, tag);
+    SPARTS_CHECK(v.size() == 1, "expected a single value");
+    return v[0];
+  }
+
+ protected:
+  Process() = default;
+};
+
+/// An execution backend: runs an SPMD function on nprocs() ranks.
+class Comm {
+ public:
+  virtual ~Comm() = default;
+
+  /// Run `spmd` on every rank to completion; returns per-rank statistics.
+  /// Rethrows the first exception thrown by user code (by rank order,
+  /// non-deadlock errors first so the root cause surfaces).  Throws
+  /// DeadlockError if ranks block in recv forever.
+  virtual RunStats run(const std::function<void(Process&)>& spmd) = 0;
+
+  virtual index_t nprocs() const = 0;
+  virtual const CostModel& cost() const = 0;
+  virtual const Topology& topology() const = 0;
+};
+
+}  // namespace sparts::exec

@@ -1,0 +1,49 @@
+#include "exec/stats.hpp"
+
+#include <algorithm>
+
+namespace sparts::exec {
+
+double RunStats::parallel_time() const {
+  double t = 0.0;
+  for (const auto& p : procs) t = std::max(t, p.clock);
+  return t;
+}
+
+nnz_t RunStats::total_flops() const {
+  nnz_t f = 0;
+  for (const auto& p : procs) f += p.flops;
+  return f;
+}
+
+nnz_t RunStats::total_messages() const {
+  nnz_t m = 0;
+  for (const auto& p : procs) m += p.messages_sent;
+  return m;
+}
+
+nnz_t RunStats::total_words() const {
+  nnz_t w = 0;
+  for (const auto& p : procs) w += p.words_sent;
+  return w;
+}
+
+double RunStats::efficiency() const {
+  const double tp = parallel_time();
+  if (tp <= 0.0 || procs.empty()) return 1.0;
+  double busy = 0.0;
+  for (const auto& p : procs) busy += p.compute_time;
+  return busy / (tp * static_cast<double>(procs.size()));
+}
+
+double speedup(double t_serial, double t_parallel) {
+  if (t_parallel <= 0.0) return 0.0;
+  return t_serial / t_parallel;
+}
+
+double efficiency(double t_serial, index_t p, double t_parallel) {
+  if (t_parallel <= 0.0 || p <= 0) return 0.0;
+  return t_serial / (static_cast<double>(p) * t_parallel);
+}
+
+}  // namespace sparts::exec

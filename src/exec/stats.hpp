@@ -1,0 +1,55 @@
+// Per-processor and per-run statistics, shared by every execution backend.
+//
+// Both backends fill the same fields; what differs is the clock that feeds
+// them.  On the simulated backend (simpar::Machine) every time is a virtual
+// cost-model time — clock is the processor's simulated finishing time,
+// compute_time is sum(flops * t_c), and so on.  On exec::ThreadBackend all
+// times are wall-clock seconds measured with std::chrono::steady_clock —
+// compute_time is the time spent between communication calls, idle_time the
+// time blocked inside recv().  Either way, `flops`/`messages_sent`/
+// `words_sent` count identical events, and efficiency() means the same
+// thing: the fraction of p * parallel_time spent computing.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace sparts::exec {
+
+/// Per-processor statistics, available after the run.
+struct ProcStats {
+  double clock = 0.0;         ///< local time at termination
+  double compute_time = 0.0;  ///< time spent computing
+  double send_time = 0.0;     ///< sender occupancy of send()
+  double idle_time = 0.0;     ///< time spent waiting in recv()
+  nnz_t flops = 0;
+  nnz_t messages_sent = 0;
+  nnz_t words_sent = 0;
+};
+
+/// Aggregated statistics of a run.
+struct RunStats {
+  std::vector<ProcStats> procs;
+
+  /// Parallel runtime: the maximum local clock.
+  double parallel_time() const;
+  /// Total flops across all processors.
+  nnz_t total_flops() const;
+  /// Total messages across all processors.
+  nnz_t total_messages() const;
+  /// Total words across all processors.
+  nnz_t total_words() const;
+  /// sum(compute_time) / (p * parallel_time)
+  double efficiency() const;
+};
+
+/// S = t_serial / t_parallel.  Returns 0 when t_parallel is not positive.
+double speedup(double t_serial, double t_parallel);
+
+/// E = t_serial / (p * t_parallel): the standard efficiency of a p-processor
+/// run against a serial baseline.  Every bench table reports this; keep the
+/// formula here instead of re-deriving it per bench.
+double efficiency(double t_serial, index_t p, double t_parallel);
+
+}  // namespace sparts::exec

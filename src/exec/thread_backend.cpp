@@ -1,0 +1,232 @@
+#include "exec/thread_backend.hpp"
+
+#include <string>
+#include <thread>
+#include <utility>
+
+namespace sparts::exec {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_between(Clock::time_point from, Clock::time_point to) {
+  return std::chrono::duration<double>(to - from).count();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// RankProcess
+// ---------------------------------------------------------------------------
+
+// The per-thread Process implementation.  All mutable state (stats, the
+// busy-time mark) is owned by the rank's thread; run() reads it only after
+// join(), so no locking is needed here.
+class ThreadBackend::RankProcess final : public Process {
+ public:
+  RankProcess(ThreadBackend* backend, index_t rank)
+      : backend_(backend), rank_(rank), last_mark_(Clock::now()) {}
+
+  index_t rank() const override { return rank_; }
+  index_t nprocs() const override { return backend_->config_.nprocs; }
+
+  double now() const override {
+    return seconds_between(backend_->epoch_, Clock::now());
+  }
+
+  void compute(double flops, FlopKind /*kind*/) override {
+    SPARTS_CHECK(flops >= 0.0);
+    stats_.flops += static_cast<nnz_t>(flops);
+  }
+
+  void compute_at(double flops, double /*seconds_per_flop*/) override {
+    SPARTS_CHECK(flops >= 0.0);
+    stats_.flops += static_cast<nnz_t>(flops);
+  }
+
+  void elapse(double seconds) override { SPARTS_CHECK(seconds >= 0.0); }
+
+  void send(index_t dst, int tag,
+            std::span<const std::byte> payload) override {
+    SPARTS_CHECK(dst >= 0 && dst < nprocs(),
+                 "send destination " << dst << " out of range");
+    const Clock::time_point t0 = flush_busy();
+    backend_->deliver(
+        dst, Message{rank_, tag,
+                     std::vector<std::byte>(payload.begin(), payload.end())});
+    const Clock::time_point t1 = Clock::now();
+    stats_.send_time += seconds_between(t0, t1);
+    last_mark_ = t1;
+    ++stats_.messages_sent;
+    stats_.words_sent += static_cast<nnz_t>(
+        (payload.size() + sizeof(real_t) - 1) / sizeof(real_t));
+  }
+
+  ReceivedMessage recv(index_t src, int tag) override {
+    SPARTS_CHECK(src == kAnySource || (src >= 0 && src < nprocs()),
+                 "recv source " << src << " out of range");
+    const Clock::time_point t0 = flush_busy();
+    Message msg = backend_->take_match(rank_, src, tag);
+    const Clock::time_point t1 = Clock::now();
+    stats_.idle_time += seconds_between(t0, t1);
+    last_mark_ = t1;
+    return ReceivedMessage{msg.src, msg.tag, std::move(msg.payload)};
+  }
+
+  const CostModel& cost() const override { return backend_->config_.cost; }
+  const Topology& topology() const override { return backend_->topology_; }
+
+  /// Close the final busy segment and stamp the finishing time.
+  ProcStats finish() {
+    flush_busy();
+    stats_.clock = now();
+    return stats_;
+  }
+
+ private:
+  /// Credit wall time since the last communication call as compute time.
+  Clock::time_point flush_busy() {
+    const Clock::time_point t = Clock::now();
+    stats_.compute_time += seconds_between(last_mark_, t);
+    last_mark_ = t;
+    return t;
+  }
+
+  ThreadBackend* backend_;
+  index_t rank_;
+  ProcStats stats_;
+  Clock::time_point last_mark_;
+};
+
+// ---------------------------------------------------------------------------
+// ThreadBackend
+// ---------------------------------------------------------------------------
+
+ThreadBackend::ThreadBackend(const Config& config)
+    : config_(config), topology_(config.topology, config.nprocs) {
+  SPARTS_CHECK(config.nprocs >= 1, "need at least one processor");
+  SPARTS_CHECK(config.recv_timeout > 0.0, "recv_timeout must be positive");
+}
+
+void ThreadBackend::deliver(index_t dst, Message msg) {
+  Mailbox& mb = *mailboxes_[static_cast<std::size_t>(dst)];
+  {
+    std::lock_guard<std::mutex> lock(mb.mutex);
+    mb.queue.push_back(std::move(msg));
+  }
+  mb.cv.notify_all();
+}
+
+ThreadBackend::Message ThreadBackend::take_match(index_t rank, index_t src,
+                                                 int tag) {
+  Mailbox& mb = *mailboxes_[static_cast<std::size_t>(rank)];
+  std::unique_lock<std::mutex> lock(mb.mutex);
+  const auto deadline =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double>(config_.recv_timeout));
+
+  auto find = [&] {
+    for (auto it = mb.queue.begin(); it != mb.queue.end(); ++it) {
+      if (it->tag == tag && (src == kAnySource || it->src == src)) return it;
+    }
+    return mb.queue.end();
+  };
+
+  for (;;) {
+    if (auto it = find(); it != mb.queue.end()) {
+      Message msg = std::move(*it);
+      mb.queue.erase(it);
+      return msg;
+    }
+    if (aborted_.load(std::memory_order_acquire)) {
+      throw DeadlockError("thread backend run aborted: rank " +
+                          std::to_string(rank) +
+                          " was waiting in recv when another rank failed");
+    }
+    if (active_.load(std::memory_order_acquire) <= 1) {
+      throw DeadlockError(
+          "thread backend deadlock: rank " + std::to_string(rank) +
+          " waits for src=" + std::to_string(src) +
+          " tag=" + std::to_string(tag) +
+          " but every other rank already finished");
+    }
+    if (mb.cv.wait_until(lock, deadline) == std::cv_status::timeout &&
+        find() == mb.queue.end()) {
+      throw DeadlockError(
+          "thread backend recv timed out after " +
+          std::to_string(config_.recv_timeout) + "s: rank " +
+          std::to_string(rank) + " waits for src=" + std::to_string(src) +
+          " tag=" + std::to_string(tag) + " (likely deadlock)");
+    }
+  }
+}
+
+void ThreadBackend::wake_all_mailboxes() {
+  for (auto& mb : mailboxes_) {
+    { std::lock_guard<std::mutex> lock(mb->mutex); }
+    mb->cv.notify_all();
+  }
+}
+
+RunStats ThreadBackend::run(const std::function<void(Process&)>& spmd) {
+  SPARTS_CHECK(!running_, "ThreadBackend::run is not reentrant");
+  running_ = true;
+  aborted_.store(false, std::memory_order_release);
+  mailboxes_.clear();
+  mailboxes_.reserve(static_cast<std::size_t>(config_.nprocs));
+  for (index_t r = 0; r < config_.nprocs; ++r) {
+    mailboxes_.push_back(std::make_unique<Mailbox>());
+  }
+  errors_.assign(static_cast<std::size_t>(config_.nprocs), nullptr);
+  active_.store(config_.nprocs, std::memory_order_release);
+  std::vector<ProcStats> stats(static_cast<std::size_t>(config_.nprocs));
+  epoch_ = Clock::now();
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(config_.nprocs));
+  for (index_t r = 0; r < config_.nprocs; ++r) {
+    threads.emplace_back([this, r, &spmd, &stats] {
+      RankProcess proc(this, r);
+      try {
+        spmd(proc);
+      } catch (...) {
+        errors_[static_cast<std::size_t>(r)] = std::current_exception();
+        aborted_.store(true, std::memory_order_release);
+      }
+      stats[static_cast<std::size_t>(r)] = proc.finish();
+      active_.fetch_sub(1, std::memory_order_acq_rel);
+      // Wake peers either to abort or to detect that this rank can no
+      // longer send them anything.
+      wake_all_mailboxes();
+    });
+  }
+  for (auto& t : threads) t.join();
+  running_ = false;
+
+  // Propagate the first user error (non-deadlock errors take priority, so
+  // the root cause surfaces instead of the secondary unwinds it caused).
+  std::exception_ptr deadlock_error;
+  for (const auto& err : errors_) {
+    if (!err) continue;
+    bool is_deadlock = false;
+    try {
+      std::rethrow_exception(err);
+    } catch (const DeadlockError&) {
+      is_deadlock = true;
+    } catch (...) {
+    }
+    if (is_deadlock) {
+      if (!deadlock_error) deadlock_error = err;
+    } else {
+      std::rethrow_exception(err);
+    }
+  }
+  if (deadlock_error) std::rethrow_exception(deadlock_error);
+
+  RunStats out;
+  out.procs = std::move(stats);
+  return out;
+}
+
+}  // namespace sparts::exec

@@ -1,0 +1,93 @@
+// The real multithreaded backend: each rank is a std::thread, messages move
+// through per-rank mutex+condvar MPSC mailboxes, and every statistic is a
+// wall-clock measurement.
+//
+// Semantics relative to the Process contract:
+//   * send() copies the payload into the destination mailbox and returns —
+//     buffered-send, never blocks on the receiver (matching the simulator).
+//   * recv() blocks until a message matching (src|kAnySource, tag) is in
+//     the mailbox; among matches it takes the earliest in queue order,
+//     which is arrival order because senders push under the mailbox lock.
+//   * compute()/compute_at() only count flops: the caller's kernel already
+//     ran for real, so wall time is the truth.  elapse() is a no-op.
+//   * now() is wall-clock seconds since the start of the current run.
+//
+// Failure handling mirrors simpar::Machine: an exception on one rank
+// aborts the run (waiting ranks unwind with a secondary DeadlockError) and
+// run() rethrows the root cause by rank order.  A genuine deadlock — every
+// peer finished, or no matching message within `recv_timeout` seconds —
+// also raises DeadlockError rather than hanging the process.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "exec/process.hpp"
+
+namespace sparts::exec {
+
+class ThreadBackend final : public Comm {
+ public:
+  struct Config {
+    index_t nprocs = 1;
+    /// Carried only as a hint source (panel_flop etc.); the threaded
+    /// backend never charges model time.
+    CostModel cost{};
+    TopologyKind topology = TopologyKind::fully_connected;
+    /// A recv() with no match for this long is declared a deadlock.
+    double recv_timeout = 60.0;
+  };
+
+  explicit ThreadBackend(const Config& config);
+
+  RunStats run(const std::function<void(Process&)>& spmd) override;
+  index_t nprocs() const override { return config_.nprocs; }
+  const CostModel& cost() const override { return config_.cost; }
+  const Topology& topology() const override { return topology_; }
+
+ private:
+  class RankProcess;
+  friend class RankProcess;
+
+  struct Message {
+    index_t src;
+    int tag;
+    std::vector<std::byte> payload;
+  };
+
+  struct Mailbox {
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::deque<Message> queue;  ///< push order == arrival order
+  };
+
+  /// Push `msg` into rank `dst`'s mailbox and wake its owner.
+  void deliver(index_t dst, Message msg);
+
+  /// Remove and return the first queued message for `rank` matching
+  /// (src|kAnySource, tag); blocks until one exists.  Throws DeadlockError
+  /// on abort, timeout, or when no live peer can still send one.
+  Message take_match(index_t rank, index_t src, int tag);
+
+  /// Briefly acquire and release every mailbox lock, then notify: ensures
+  /// ranks mid-predicate-check cannot miss an abort / peer-exit signal.
+  void wake_all_mailboxes();
+
+  Config config_;
+  Topology topology_;
+
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  std::vector<std::exception_ptr> errors_;
+  std::atomic<bool> aborted_{false};
+  std::atomic<index_t> active_{0};  ///< ranks still inside spmd()
+  std::chrono::steady_clock::time_point epoch_{};
+  bool running_ = false;
+};
+
+}  // namespace sparts::exec

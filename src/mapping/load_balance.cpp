@@ -15,7 +15,7 @@ LoadBalance analyze_load_balance(const symbolic::SupernodePartition& part,
   LoadBalance lb;
   lb.work_per_proc.assign(static_cast<std::size_t>(map.p), 0.0);
   for (index_t s = 0; s < nsup; ++s) {
-    const simpar::Group& g = map.group[static_cast<std::size_t>(s)];
+    const exec::Group& g = map.group[static_cast<std::size_t>(s)];
     const double share =
         work[static_cast<std::size_t>(s)] / static_cast<double>(g.count);
     for (index_t r = 0; r < g.count; ++r) {

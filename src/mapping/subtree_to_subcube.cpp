@@ -20,13 +20,13 @@ void SubcubeMapping::check_consistent(
   const index_t nsup = part.num_supernodes();
   SPARTS_CHECK(static_cast<index_t>(group.size()) == nsup);
   for (index_t s = 0; s < nsup; ++s) {
-    const simpar::Group& g = group[static_cast<std::size_t>(s)];
+    const exec::Group& g = group[static_cast<std::size_t>(s)];
     SPARTS_CHECK(g.count >= 1 && (g.count & (g.count - 1)) == 0,
                  "group size must be a power of two");
     SPARTS_CHECK(g.base >= 0 && g.base + g.count <= p);
     const index_t parent = part.stree.parent[static_cast<std::size_t>(s)];
     if (parent != -1) {
-      const simpar::Group& pg = group[static_cast<std::size_t>(parent)];
+      const exec::Group& pg = group[static_cast<std::size_t>(parent)];
       SPARTS_CHECK(g.base >= pg.base &&
                        g.base + g.count <= pg.base + pg.count,
                    "child group must be contained in parent group");
@@ -38,8 +38,8 @@ namespace {
 
 void assign_forest(const std::vector<std::vector<index_t>>& children,
                    std::span<const double> subtree_work,
-                   const std::vector<index_t>& roots, simpar::Group g,
-                   std::vector<simpar::Group>& out) {
+                   const std::vector<index_t>& roots, exec::Group g,
+                   std::vector<exec::Group>& out) {
   if (roots.empty()) return;
   if (g.count == 1) {
     // Entire forest is sequential on g.base.
@@ -82,10 +82,10 @@ void assign_forest(const std::vector<std::vector<index_t>>& children,
     }
   }
   const index_t half = g.count / 2;
-  assign_forest(children, subtree_work, bin0, simpar::Group{g.base, half},
+  assign_forest(children, subtree_work, bin0, exec::Group{g.base, half},
                 out);
   assign_forest(children, subtree_work, bin1,
-                simpar::Group{g.base + half, half}, out);
+                exec::Group{g.base + half, half}, out);
 }
 
 }  // namespace
@@ -118,8 +118,8 @@ SubcubeMapping subtree_to_subcube(const symbolic::SupernodePartition& part,
 
   SubcubeMapping m;
   m.p = p;
-  m.group.assign(static_cast<std::size_t>(nsup), simpar::Group{0, 1});
-  assign_forest(children, subtree_work, roots, simpar::Group{0, p},
+  m.group.assign(static_cast<std::size_t>(nsup), exec::Group{0, 1});
+  assign_forest(children, subtree_work, roots, exec::Group{0, p},
                 m.group);
   return m;
 }
@@ -130,7 +130,7 @@ SubcubeMapping subtree_to_subcube(const symbolic::SupernodePartition& part,
   return subtree_to_subcube(part, p, w);
 }
 
-std::vector<simpar::Group> subtree_to_subcube_tree(
+std::vector<exec::Group> subtree_to_subcube_tree(
     const ordering::EliminationTree& tree, index_t p,
     std::span<const double> work) {
   SPARTS_CHECK(p >= 1 && (p & (p - 1)) == 0,
@@ -152,9 +152,9 @@ std::vector<simpar::Group> subtree_to_subcube_tree(
   for (index_t v = 0; v < n; ++v) {
     if (tree.parent[static_cast<std::size_t>(v)] == -1) roots.push_back(v);
   }
-  std::vector<simpar::Group> out(static_cast<std::size_t>(n),
-                                 simpar::Group{0, 1});
-  assign_forest(children, subtree_work, roots, simpar::Group{0, p}, out);
+  std::vector<exec::Group> out(static_cast<std::size_t>(n),
+                                 exec::Group{0, 1});
+  assign_forest(children, subtree_work, roots, exec::Group{0, p}, out);
   return out;
 }
 

@@ -15,7 +15,7 @@
 #include <vector>
 
 #include "common/types.hpp"
-#include "simpar/collectives.hpp"
+#include "exec/collectives.hpp"
 #include "symbolic/supernodes.hpp"
 
 namespace sparts::mapping {
@@ -23,7 +23,7 @@ namespace sparts::mapping {
 /// Processor-group assignment for every supernode.
 struct SubcubeMapping {
   index_t p = 1;                      ///< total processors
-  std::vector<simpar::Group> group;   ///< per supernode
+  std::vector<exec::Group> group;   ///< per supernode
 
   /// True if supernode s is processed in parallel (group size > 1).
   bool is_parallel(index_t s) const {
@@ -61,7 +61,7 @@ std::vector<double> factor_work_weights(
 /// than per supernode) — used by phases that run before supernodes exist,
 /// like the parallel symbolic factorization.  `work[v]` weights vertex v;
 /// p must be a power of two.
-std::vector<simpar::Group> subtree_to_subcube_tree(
+std::vector<exec::Group> subtree_to_subcube_tree(
     const ordering::EliminationTree& tree, index_t p,
     std::span<const double> work);
 

@@ -10,7 +10,7 @@
 #include "mapping/block_cyclic.hpp"
 #include "ordering/etree.hpp"
 #include "partrisolve/layout.hpp"
-#include "simpar/collectives.hpp"
+#include "exec/collectives.hpp"
 
 namespace sparts::parfact {
 
@@ -25,7 +25,7 @@ int tag_colgather(index_t s) { return static_cast<int>(8 * s + 3); }
 
 /// The 2-D geometry of one supernode's front on its processor group.
 struct FrontGeometry {
-  simpar::Group group;
+  exec::Group group;
   mapping::BlockCyclic2d grid;  ///< qr x qc, block b2d
   Layout row_layout;            ///< positions over grid rows
   Layout col_layout;            ///< positions over grid columns
@@ -53,7 +53,7 @@ struct FrontGeometry {
   }
 };
 
-FrontGeometry make_geometry(const simpar::Group& g, index_t ns, index_t t,
+FrontGeometry make_geometry(const exec::Group& g, index_t ns, index_t t,
                             index_t b2d) {
   FrontGeometry geo;
   geo.group = g;
@@ -80,7 +80,7 @@ struct LocalFront {
 
 }  // namespace
 
-Report parallel_multifrontal(simpar::Machine& machine,
+Report parallel_multifrontal(exec::Comm& machine,
                              const sparse::SymmetricCsc& a,
                              const symbolic::SupernodePartition& part,
                              const mapping::SubcubeMapping& map,
@@ -119,12 +119,12 @@ Report parallel_multifrontal(simpar::Machine& machine,
   std::vector<std::unordered_map<index_t, LocalFront>> rank_fronts(
       static_cast<std::size_t>(map.p));
 
-  auto spmd = [&](simpar::Proc& proc) {
+  auto spmd = [&](exec::Process& proc) {
     const index_t w = proc.rank();
     auto& fronts = rank_fronts[static_cast<std::size_t>(w)];
 
     for (index_t s = 0; s < nsup; ++s) {
-      const simpar::Group g = map.group[static_cast<std::size_t>(s)];
+      const exec::Group g = map.group[static_cast<std::size_t>(s)];
       if (!g.contains(w)) continue;
       const index_t ns = part.height(s);
       const index_t t = part.width(s);
@@ -157,7 +157,7 @@ Report parallel_multifrontal(simpar::Machine& machine,
 
       // --- Extend-add the children's Schur complements. ---
       for (index_t c : children[static_cast<std::size_t>(s)]) {
-        const simpar::Group cg = map.group[static_cast<std::size_t>(c)];
+        const exec::Group cg = map.group[static_cast<std::size_t>(c)];
         const index_t cns = part.height(c);
         const index_t ct = part.width(c);
         const FrontGeometry cgeo = make_geometry(cg, cns, ct, b2d);
@@ -240,7 +240,7 @@ Report parallel_multifrontal(simpar::Machine& machine,
         // Local fast path: classic partial Cholesky + Schur update.
         proc.compute(static_cast<double>(dense::panel_cholesky(
                          ns, t, front.data.data(), ns)),
-                     simpar::FlopKind::blas3);
+                     exec::FlopKind::blas3);
         const index_t below = ns - t;
         if (below > 0) {
           dense::panel_syrk(below, below, t, front.data.data() + t, ns,
@@ -249,11 +249,11 @@ Report parallel_multifrontal(simpar::Machine& machine,
                                 static_cast<std::size_t>(t) * ns + t,
                             ns, /*lower_only=*/true);
           proc.compute(static_cast<double>(below) * below * t,
-                       simpar::FlopKind::blas3);
+                       exec::FlopKind::blas3);
         }
       } else {
-        const simpar::Group col_group{g.base + gc, geo.qr(), geo.qc()};
-        const simpar::Group row_group{g.base + gr * geo.qc(), geo.qc(), 1};
+        const exec::Group col_group{g.base + gc, geo.qr(), geo.qc()};
+        const exec::Group row_group{g.base + gr * geo.qc(), geo.qc(), 1};
 
         for (index_t p0 = 0; p0 < t; p0 += b2d) {
           const index_t bp = std::min(b2d, t - p0);
@@ -269,7 +269,7 @@ Report parallel_multifrontal(simpar::Machine& machine,
             proc.compute(
                 static_cast<double>(dense::panel_cholesky(
                     bp, bp, &front.at(li, lj), front.lr)),
-                simpar::FlopKind::blas3);
+                exec::FlopKind::blas3);
             for (index_t cjj = 0; cjj < bp; ++cjj) {
               for (index_t cii = 0; cii < bp; ++cii) {
                 diag[static_cast<std::size_t>(cjj * bp + cii)] =
@@ -278,7 +278,7 @@ Report parallel_multifrontal(simpar::Machine& machine,
             }
           }
           if (gc == panel_gc && geo.qr() > 1) {
-            simpar::broadcast_from(proc, col_group, panel_gr, diag,
+            exec::broadcast_from(proc, col_group, panel_gr, diag,
                                    tag_diag(s));
           }
 
@@ -294,7 +294,7 @@ Report parallel_multifrontal(simpar::Machine& machine,
               proc.compute(static_cast<double>(dense::panel_trsm_right_lt(
                                m_rows, bp, diag.data(), bp,
                                &front.at(below_count, lj), front.lr)),
-                           simpar::FlopKind::blas3);
+                           exec::FlopKind::blas3);
               for (index_t cjj = 0; cjj < bp; ++cjj) {
                 for (index_t cii = 0; cii < m_rows; ++cii) {
                   rowpiece[static_cast<std::size_t>(cjj * m_rows + cii)] =
@@ -304,7 +304,7 @@ Report parallel_multifrontal(simpar::Machine& machine,
             }
           }
           if (geo.qc() > 1) {
-            simpar::broadcast_from(proc, row_group, panel_gc, rowpiece,
+            exec::broadcast_from(proc, row_group, panel_gc, rowpiece,
                                    tag_rowbcast(s));
           }
 
@@ -333,7 +333,7 @@ Report parallel_multifrontal(simpar::Machine& machine,
           }
           std::vector<std::vector<real_t>> gathered;
           if (geo.qr() > 1) {
-            gathered = simpar::allgather(proc, col_group, std::move(contrib),
+            gathered = exec::allgather(proc, col_group, std::move(contrib),
                                          tag_colgather(s));
           } else {
             gathered.push_back(std::move(contrib));
@@ -394,7 +394,7 @@ Report parallel_multifrontal(simpar::Machine& machine,
                                static_cast<double>(lenj) *
                                static_cast<double>(bp) *
                                (diagonal_block ? 0.5 : 1.0),
-                           simpar::FlopKind::blas3);
+                           exec::FlopKind::blas3);
             }
           }
         }

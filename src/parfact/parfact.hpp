@@ -27,7 +27,7 @@
 #include "common/types.hpp"
 #include "mapping/subtree_to_subcube.hpp"
 #include "numeric/supernodal_factor.hpp"
-#include "simpar/machine.hpp"
+#include "exec/process.hpp"
 #include "sparse/formats.hpp"
 #include "symbolic/supernodes.hpp"
 
@@ -38,14 +38,14 @@ struct Options {
 };
 
 struct Report {
-  simpar::RunStats stats;
+  exec::RunStats stats;
   double time() const { return stats.parallel_time(); }
 };
 
 /// Factor A over `part` on the simulated machine; writes the numeric
 /// factor into `out` (which is allocated by this call).  The result equals
 /// the sequential multifrontal factor up to floating-point reordering.
-Report parallel_multifrontal(simpar::Machine& machine,
+Report parallel_multifrontal(exec::Comm& machine,
                              const sparse::SymmetricCsc& a,
                              const symbolic::SupernodePartition& part,
                              const mapping::SubcubeMapping& map,

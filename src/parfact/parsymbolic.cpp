@@ -10,7 +10,7 @@
 
 namespace sparts::parfact {
 
-ParSymbolicResult parallel_symbolic(simpar::Machine& machine,
+ParSymbolicResult parallel_symbolic(exec::Comm& machine,
                                     const sparse::SymmetricCsc& a) {
   const index_t n = a.n();
   const index_t p = machine.nprocs();
@@ -28,7 +28,7 @@ ParSymbolicResult parallel_symbolic(simpar::Machine& machine,
     work[static_cast<std::size_t>(j)] =
         static_cast<double>(a.col_rows(j).size());
   }
-  const std::vector<simpar::Group> groups =
+  const std::vector<exec::Group> groups =
       mapping::subtree_to_subcube_tree(etree, p, work);
   auto owner_of = [&groups](index_t j) {
     return groups[static_cast<std::size_t>(j)].base;
@@ -38,7 +38,7 @@ ParSymbolicResult parallel_symbolic(simpar::Machine& machine,
   std::vector<std::unordered_map<index_t, std::vector<index_t>>> structs(
       static_cast<std::size_t>(p));
 
-  auto spmd = [&](simpar::Proc& proc) {
+  auto spmd = [&](exec::Process& proc) {
     const index_t w = proc.rank();
     auto& mine = structs[static_cast<std::size_t>(w)];
     std::vector<index_t> mark(static_cast<std::size_t>(n), -1);

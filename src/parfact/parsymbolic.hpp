@@ -20,7 +20,7 @@
 #pragma once
 
 #include "common/types.hpp"
-#include "simpar/machine.hpp"
+#include "exec/process.hpp"
 #include "sparse/formats.hpp"
 #include "symbolic/symbolic.hpp"
 
@@ -28,14 +28,14 @@ namespace sparts::parfact {
 
 struct ParSymbolicResult {
   symbolic::SymbolicFactor symbolic;  ///< identical to the sequential one
-  simpar::RunStats stats;
+  exec::RunStats stats;
 
   double time() const { return stats.parallel_time(); }
 };
 
 /// Run the distributed symbolic factorization of A's pattern on the
 /// simulated machine (p = machine.nprocs(), a power of two).
-ParSymbolicResult parallel_symbolic(simpar::Machine& machine,
+ParSymbolicResult parallel_symbolic(exec::Comm& machine,
                                     const sparse::SymmetricCsc& a);
 
 }  // namespace sparts::parfact

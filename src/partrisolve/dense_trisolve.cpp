@@ -8,7 +8,7 @@
 
 namespace sparts::partrisolve {
 
-simpar::RunStats dense_parallel_forward(simpar::Machine& machine,
+exec::RunStats dense_parallel_forward(exec::Comm& machine,
                                         const dense::Matrix& l,
                                         std::span<real_t> b, index_t m,
                                         index_t block_size) {
@@ -22,7 +22,7 @@ simpar::RunStats dense_parallel_forward(simpar::Machine& machine,
   const Layout lay{p, block_size, n, n};
   const index_t tb = lay.num_pivot_blocks();
 
-  auto spmd = [&](simpar::Proc& proc) {
+  auto spmd = [&](exec::Process& proc) {
     const index_t r = proc.rank();
     const index_t q = p;
     const index_t next = (r + 1) % q;

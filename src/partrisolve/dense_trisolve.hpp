@@ -8,14 +8,14 @@
 
 #include "common/types.hpp"
 #include "dense/matrix.hpp"
-#include "simpar/machine.hpp"
+#include "exec/process.hpp"
 
 namespace sparts::partrisolve {
 
 /// Solve L x = b on the whole simulated machine.  `l` is n x n lower
 /// triangular (shared read-only), `b` is n x m column-major and receives
 /// the solution in place.  Block-cyclic with the given block size.
-simpar::RunStats dense_parallel_forward(simpar::Machine& machine,
+exec::RunStats dense_parallel_forward(exec::Comm& machine,
                                         const dense::Matrix& l,
                                         std::span<real_t> b, index_t m,
                                         index_t block_size);

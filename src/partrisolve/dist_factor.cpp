@@ -13,7 +13,7 @@ DistributedFactor::DistributedFactor(const symbolic::SupernodePartition& part,
       local_rows_(static_cast<std::size_t>(map.p)) {
   SPARTS_CHECK(block_size >= 1);
   for (index_t s = 0; s < part.num_supernodes(); ++s) {
-    const simpar::Group& g = map.group[static_cast<std::size_t>(s)];
+    const exec::Group& g = map.group[static_cast<std::size_t>(s)];
     const Layout lay{g.count, block_size, part.height(s), part.width(s)};
     for (index_t r = 0; r < g.count; ++r) {
       const index_t w = g.world(r);
@@ -31,7 +31,7 @@ DistributedFactor DistributedFactor::pack_from(
   const auto& part = factor.partition();
   DistributedFactor df(part, map, block_size);
   for (index_t s = 0; s < part.num_supernodes(); ++s) {
-    const simpar::Group& g = map.group[static_cast<std::size_t>(s)];
+    const exec::Group& g = map.group[static_cast<std::size_t>(s)];
     const Layout lay{g.count, block_size, part.height(s), part.width(s)};
     const auto block = factor.block(s);
     const index_t t = part.width(s);

@@ -9,7 +9,7 @@
 #include "ordering/etree.hpp"
 #include "partrisolve/layout.hpp"
 #include "partrisolve/packets.hpp"
-#include "simpar/collectives.hpp"
+#include "exec/collectives.hpp"
 
 namespace sparts::partrisolve {
 
@@ -131,7 +131,7 @@ index_t first_owned_block_after(index_t k, index_t r, index_t q) {
 // ---------------------------------------------------------------------------
 
 /// Apply token x_K to every block row of rank r strictly below block K.
-void fw_apply_token_to_my_blocks(simpar::Proc& proc, const PhaseContext& ctx,
+void fw_apply_token_to_my_blocks(exec::Process& proc, const PhaseContext& ctx,
                                  const Layout& lay, index_t r,
                                  const LView& lv, index_t k,
                                  std::span<const real_t> token, real_t* v,
@@ -150,12 +150,12 @@ void fw_apply_token_to_my_blocks(simpar::Proc& proc, const PhaseContext& ctx,
 }
 
 /// Column-priority pipelined forward elimination (paper Fig. 3c).
-void fw_pipelined_column_priority(simpar::Proc& proc, const PhaseContext& ctx,
+void fw_pipelined_column_priority(exec::Process& proc, const PhaseContext& ctx,
                                   index_t s, const Layout& lay, index_t r,
                                   const LView& lv, real_t* v,
                                   index_t ldv) {
   const index_t q = lay.q;
-  const simpar::Group g = ctx.map.group[static_cast<std::size_t>(s)];
+  const exec::Group g = ctx.map.group[static_cast<std::size_t>(s)];
   const index_t next = g.base + (r + 1) % q;
   const index_t prev = g.base + (r + q - 1) % q;
   const index_t tb = lay.num_pivot_blocks();
@@ -207,12 +207,12 @@ void fw_pipelined_column_priority(simpar::Proc& proc, const PhaseContext& ctx,
 
 /// Row-priority pipelined forward elimination (paper Fig. 3b): each rank
 /// walks its own block rows in ascending order, buffering tokens.
-void fw_pipelined_row_priority(simpar::Proc& proc, const PhaseContext& ctx,
+void fw_pipelined_row_priority(exec::Process& proc, const PhaseContext& ctx,
                                index_t s, const Layout& lay, index_t r,
                                const LView& lv, real_t* v,
                                index_t ldv) {
   const index_t q = lay.q;
-  const simpar::Group g = ctx.map.group[static_cast<std::size_t>(s)];
+  const exec::Group g = ctx.map.group[static_cast<std::size_t>(s)];
   const index_t next = g.base + (r + 1) % q;
   const index_t prev = g.base + (r + q - 1) % q;
   const index_t tb = lay.num_pivot_blocks();
@@ -298,10 +298,10 @@ void fw_pipelined_row_priority(simpar::Proc& proc, const PhaseContext& ctx,
 /// block broadcasts the solved sub-vector to the whole group.  Costs
 /// ~log q startups per block instead of overlapping them — the baseline
 /// the paper's ring pipeline improves on.
-void fw_fan_out(simpar::Proc& proc, const PhaseContext& ctx, index_t s,
+void fw_fan_out(exec::Process& proc, const PhaseContext& ctx, index_t s,
                 const Layout& lay, index_t r, const LView& lv,
                 real_t* v, index_t ldv) {
-  const simpar::Group g = ctx.map.group[static_cast<std::size_t>(s)];
+  const exec::Group g = ctx.map.group[static_cast<std::size_t>(s)];
   const index_t tb = lay.num_pivot_blocks();
   const index_t m = ctx.m;
 
@@ -333,7 +333,7 @@ void fw_fan_out(simpar::Proc& proc, const PhaseContext& ctx, index_t s,
                         proc.cost().panel_flop(m));
       }
     }
-    simpar::broadcast_from(proc, g, owner, token, tag_fw_token(s));
+    exec::broadcast_from(proc, g, owner, token, tag_fw_token(s));
     fw_apply_token_to_my_blocks(proc, ctx, lay, r, lv, k, token, v,
                                 ldv);
   }
@@ -343,11 +343,11 @@ void fw_fan_out(simpar::Proc& proc, const PhaseContext& ctx, index_t s,
 // Backward substitution kernel on one shared supernode (paper Fig. 4).
 // ---------------------------------------------------------------------------
 
-void bw_pipelined(simpar::Proc& proc, const PhaseContext& ctx, index_t s,
+void bw_pipelined(exec::Process& proc, const PhaseContext& ctx, index_t s,
                   const Layout& lay, index_t r, const LView& lv,
                   real_t* w, index_t ldw) {
   const index_t q = lay.q;
-  const simpar::Group g = ctx.map.group[static_cast<std::size_t>(s)];
+  const exec::Group g = ctx.map.group[static_cast<std::size_t>(s)];
   // The partial-sum token for column K travels the ring in the -1
   // direction, starting at owner(K)-1 and ending at owner(K).  This order
   // matters: the chain's early links only need x-values of long-finished
@@ -425,11 +425,11 @@ void bw_pipelined(simpar::Proc& proc, const PhaseContext& ctx, index_t s,
 /// Fan-in (non-pipelined) backward substitution: each column's partial
 /// sums are combined with a log-q reduction to the diagonal owner instead
 /// of flowing along the ring.
-void bw_fan_in(simpar::Proc& proc, const PhaseContext& ctx, index_t s,
+void bw_fan_in(exec::Process& proc, const PhaseContext& ctx, index_t s,
                const Layout& lay, index_t r, const LView& lv,
                real_t* w, index_t ldw) {
   const index_t q = lay.q;
-  const simpar::Group g = ctx.map.group[static_cast<std::size_t>(s)];
+  const exec::Group g = ctx.map.group[static_cast<std::size_t>(s)];
   const index_t tb = lay.num_pivot_blocks();
   const index_t m = ctx.m;
 
@@ -456,7 +456,7 @@ void bw_fan_in(simpar::Proc& proc, const PhaseContext& ctx, index_t s,
       proc.compute_at(static_cast<double>(dense::gemm_flops(bk, m, len)),
                       proc.cost().panel_flop(m));
     }
-    simpar::reduce_sum_to(proc, g, owner, acc, tag_bw_token(s));
+    exec::reduce_sum_to(proc, g, owner, acc, tag_bw_token(s));
     if (r == owner) {
       const index_t lo = lay.local_of(c0);
       for (index_t c = 0; c < m; ++c) {
@@ -525,7 +525,7 @@ LView make_view(const numeric::SupernodalFactor& factor,
 
 }  // namespace
 
-PhaseReport DistributedTrisolver::forward(simpar::Machine& machine,
+PhaseReport DistributedTrisolver::forward(exec::Comm& machine,
                                           std::span<const real_t> b_in,
                                           std::span<real_t> y_out,
                                           index_t m) const {
@@ -541,11 +541,11 @@ PhaseReport DistributedTrisolver::forward(simpar::Machine& machine,
 
   std::vector<BufferMap> rank_bufs(static_cast<std::size_t>(map_.p));
 
-  auto spmd = [&](simpar::Proc& proc) {
+  auto spmd = [&](exec::Process& proc) {
     const index_t w = proc.rank();
     BufferMap& bufs = rank_bufs[static_cast<std::size_t>(w)];
     for (index_t s = 0; s < nsup; ++s) {
-      const simpar::Group g = map_.group[static_cast<std::size_t>(s)];
+      const exec::Group g = map_.group[static_cast<std::size_t>(s)];
       if (!g.contains(w)) continue;
       const index_t r = w - g.base;
       const Layout lay = layout_of(ctx, s);
@@ -613,7 +613,7 @@ PhaseReport DistributedTrisolver::forward(simpar::Machine& machine,
       if (parent != -1) {
         const ChildRouting& cr = routing_[static_cast<std::size_t>(s)];
         const Layout play = layout_of(ctx, parent);
-        const simpar::Group pg =
+        const exec::Group pg =
             map_.group[static_cast<std::size_t>(parent)];
         const index_t below = lay.ns - lay.t;
         std::map<index_t, RhsPacket> buckets;
@@ -656,7 +656,7 @@ PhaseReport DistributedTrisolver::forward(simpar::Machine& machine,
   return report;
 }
 
-PhaseReport DistributedTrisolver::backward(simpar::Machine& machine,
+PhaseReport DistributedTrisolver::backward(exec::Comm& machine,
                                            std::span<const real_t> y_in,
                                            std::span<real_t> x_out,
                                            index_t m) const {
@@ -671,11 +671,11 @@ PhaseReport DistributedTrisolver::backward(simpar::Machine& machine,
   const index_t nsup = part.num_supernodes();
   std::vector<BufferMap> rank_bufs(static_cast<std::size_t>(map_.p));
 
-  auto spmd = [&](simpar::Proc& proc) {
+  auto spmd = [&](exec::Process& proc) {
     const index_t w = proc.rank();
     BufferMap& bufs = rank_bufs[static_cast<std::size_t>(w)];
     for (index_t s = nsup - 1; s >= 0; --s) {
-      const simpar::Group g = map_.group[static_cast<std::size_t>(s)];
+      const exec::Group g = map_.group[static_cast<std::size_t>(s)];
       if (!g.contains(w)) continue;
       const index_t r = w - g.base;
       const Layout lay = layout_of(ctx, s);
@@ -741,7 +741,7 @@ PhaseReport DistributedTrisolver::backward(simpar::Machine& machine,
       for (index_t c : children_[static_cast<std::size_t>(s)]) {
         const ChildRouting& cr = routing_[static_cast<std::size_t>(c)];
         const Layout clay = layout_of(ctx, c);
-        const simpar::Group cg = map_.group[static_cast<std::size_t>(c)];
+        const exec::Group cg = map_.group[static_cast<std::size_t>(c)];
         std::map<index_t, RhsPacket> buckets;
         const index_t cbelow = clay.ns - clay.t;
         for (index_t k = 0; k < cbelow; ++k) {
@@ -782,7 +782,7 @@ PhaseReport DistributedTrisolver::backward(simpar::Machine& machine,
 }
 
 std::pair<PhaseReport, PhaseReport> DistributedTrisolver::solve(
-    simpar::Machine& machine, std::span<const real_t> b_in,
+    exec::Comm& machine, std::span<const real_t> b_in,
     std::span<real_t> x_out, index_t m) const {
   const index_t n = factor_.partition().n();
   std::vector<real_t> y(static_cast<std::size_t>(n * m), 0.0);

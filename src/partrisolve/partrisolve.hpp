@@ -26,7 +26,7 @@
 #include "mapping/subtree_to_subcube.hpp"
 #include "numeric/supernodal_factor.hpp"
 #include "partrisolve/dist_factor.hpp"
-#include "simpar/machine.hpp"
+#include "exec/process.hpp"
 
 namespace sparts::partrisolve {
 
@@ -46,7 +46,7 @@ struct Options {
 
 /// Result of one distributed solve phase.
 struct PhaseReport {
-  simpar::RunStats stats;
+  exec::RunStats stats;
   double time() const { return stats.parallel_time(); }
 };
 
@@ -72,16 +72,16 @@ class DistributedTrisolver {
 
   /// Solve L Y = B on `machine` (machine.nprocs() must equal map.p).
   /// `b_in` is n x m column-major; `y_out` receives Y.
-  PhaseReport forward(simpar::Machine& machine, std::span<const real_t> b_in,
+  PhaseReport forward(exec::Comm& machine, std::span<const real_t> b_in,
                       std::span<real_t> y_out, index_t m) const;
 
   /// Solve L^T X = Y; `y_in` from forward(), `x_out` receives X.
-  PhaseReport backward(simpar::Machine& machine, std::span<const real_t> y_in,
+  PhaseReport backward(exec::Comm& machine, std::span<const real_t> y_in,
                        std::span<real_t> x_out, index_t m) const;
 
   /// Convenience: forward then backward on the same machine.
   /// Returns {forward, backward} reports.
-  std::pair<PhaseReport, PhaseReport> solve(simpar::Machine& machine,
+  std::pair<PhaseReport, PhaseReport> solve(exec::Comm& machine,
                                             std::span<const real_t> b_in,
                                             std::span<real_t> x_out,
                                             index_t m) const;

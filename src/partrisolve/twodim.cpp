@@ -11,7 +11,7 @@
 #include "ordering/etree.hpp"
 #include "partrisolve/layout.hpp"
 #include "partrisolve/packets.hpp"
-#include "simpar/collectives.hpp"
+#include "exec/collectives.hpp"
 
 namespace sparts::partrisolve {
 
@@ -31,7 +31,7 @@ int tag_bw_store(index_t s) { return static_cast<int>(16 * s + 8); }
 /// rows distributed by grid row; the trapezoid entry (i, k) lives on grid
 /// processor (row_owner(i), col_owner(k)).
 struct Geo {
-  simpar::Group group;
+  exec::Group group;
   mapping::BlockCyclic2d grid;
   Layout rows;  ///< q = qr over positions
   Layout cols;  ///< q = qc over positions (pivot columns only matter)
@@ -47,7 +47,7 @@ struct Geo {
   index_t frag_owner(index_t i) const { return world(rows.owner_of(i), 0); }
 };
 
-Geo make_geo(const simpar::Group& g, index_t ns, index_t t, index_t b2) {
+Geo make_geo(const exec::Group& g, index_t ns, index_t t, index_t b2) {
   Geo geo;
   geo.group = g;
   geo.grid = mapping::BlockCyclic2d::near_square(g.count, b2);
@@ -119,7 +119,7 @@ std::vector<real_t>& ensure_fragment(const Ctx& ctx, BufferMap& bufs,
 }  // namespace
 
 std::pair<PhaseReport, PhaseReport> solve_two_dim(
-    simpar::Machine& machine, const numeric::SupernodalFactor& factor,
+    exec::Comm& machine, const numeric::SupernodalFactor& factor,
     const mapping::SubcubeMapping& map, std::span<const real_t> b_in,
     std::span<real_t> x_out, index_t m, const TwoDimOptions& options) {
   const auto& part = factor.partition();
@@ -135,11 +135,11 @@ std::pair<PhaseReport, PhaseReport> solve_two_dim(
   // Forward elimination.
   // -------------------------------------------------------------------
   std::vector<BufferMap> rank_bufs(static_cast<std::size_t>(map.p));
-  auto fw = [&](simpar::Proc& proc) {
+  auto fw = [&](exec::Process& proc) {
     const index_t w = proc.rank();
     BufferMap& bufs = rank_bufs[static_cast<std::size_t>(w)];
     for (index_t s = 0; s < nsup; ++s) {
-      const simpar::Group g = map.group[static_cast<std::size_t>(s)];
+      const exec::Group g = map.group[static_cast<std::size_t>(s)];
       if (!g.contains(w)) continue;
       const index_t t = part.width(s);
       const index_t ns = part.height(s);
@@ -154,7 +154,7 @@ std::pair<PhaseReport, PhaseReport> solve_two_dim(
         auto& v = ensure_fragment(ctx, bufs, s, geo, gr, b_in, n);
         const index_t nloc = geo.rows.local_count(gr);
         for (index_t c : ctx.children[static_cast<std::size_t>(s)]) {
-          const simpar::Group cg = map.group[static_cast<std::size_t>(c)];
+          const exec::Group cg = map.group[static_cast<std::size_t>(c)];
           const Geo cgeo = make_geo(cg, part.height(c), part.width(c),
                                     ctx.b2);
           const auto& pp = ctx.parent_pos[static_cast<std::size_t>(c)];
@@ -187,8 +187,8 @@ std::pair<PhaseReport, PhaseReport> solve_two_dim(
       // Solved pivot blocks this rank has seen (by column ownership).
       std::vector<std::vector<real_t>> xk(static_cast<std::size_t>(tb));
 
-      const simpar::Group row_group{g.base + gr * geo.qc(), geo.qc(), 1};
-      const simpar::Group col_group{g.base + gc, geo.qr(), geo.qc()};
+      const exec::Group row_group{g.base + gr * geo.qc(), geo.qc(), 1};
+      const exec::Group col_group{g.base + gc, geo.qr(), geo.qc()};
 
       for (index_t k = 0; k < tb; ++k) {
         const index_t c0 = geo.rows.col_begin(k);
@@ -225,7 +225,7 @@ std::pair<PhaseReport, PhaseReport> solve_two_dim(
             }
             proc.compute_at(static_cast<double>(bk * m), proc.cost().t_mem);
           }
-          simpar::reduce_sum_to(proc, row_group, owner_c, acc,
+          exec::reduce_sum_to(proc, row_group, owner_c, acc,
                                 tag_fw_reduce(s));
           if (gc == owner_c) {
             // x_K = L(KK)^{-1} (V_K - sum) = L(KK)^{-1} (-acc).
@@ -270,7 +270,7 @@ std::pair<PhaseReport, PhaseReport> solve_two_dim(
         if (gc == owner_c) {
           std::vector<real_t> token;
           if (gr == owner_r) token = xk[static_cast<std::size_t>(k)];
-          simpar::broadcast_from(proc, col_group, owner_r, token,
+          exec::broadcast_from(proc, col_group, owner_r, token,
                                  tag_fw_bcast(s));
           xk[static_cast<std::size_t>(k)] = std::move(token);
         }
@@ -302,7 +302,7 @@ std::pair<PhaseReport, PhaseReport> solve_two_dim(
           proc.compute_at(static_cast<double>(dense::gemm_flops(len, m, bj)),
                           proc.cost().panel_flop(m));
         }
-        simpar::reduce_sum_to(proc, row_group, 0, acc, tag_fw_reduce(s));
+        exec::reduce_sum_to(proc, row_group, 0, acc, tag_fw_reduce(s));
         if (gc == 0) {
           auto& v = bufs.at(s);
           const index_t nloc = geo.rows.local_count(gr);
@@ -382,11 +382,11 @@ std::pair<PhaseReport, PhaseReport> solve_two_dim(
   // Backward substitution.
   // -------------------------------------------------------------------
   std::vector<BufferMap> bw_bufs(static_cast<std::size_t>(map.p));
-  auto bw = [&](simpar::Proc& proc) {
+  auto bw = [&](exec::Process& proc) {
     const index_t w = proc.rank();
     BufferMap& bufs = bw_bufs[static_cast<std::size_t>(w)];
     for (index_t s = nsup - 1; s >= 0; --s) {
-      const simpar::Group g = map.group[static_cast<std::size_t>(s)];
+      const exec::Group g = map.group[static_cast<std::size_t>(s)];
       if (!g.contains(w)) continue;
       const index_t t = part.width(s);
       const index_t ns = part.height(s);
@@ -396,8 +396,8 @@ std::pair<PhaseReport, PhaseReport> solve_two_dim(
       const auto lblock = factor.block(s);
       const index_t tb = geo.rows.num_pivot_blocks();
       const index_t nb = geo.rows.num_blocks();
-      const simpar::Group row_group{g.base + gr * geo.qc(), geo.qc(), 1};
-      const simpar::Group col_group{g.base + gc, geo.qr(), geo.qc()};
+      const exec::Group row_group{g.base + gr * geo.qc(), geo.qc(), 1};
+      const exec::Group col_group{g.base + gc, geo.qr(), geo.qc()};
 
       // Fragment on grid column 0: pivot rows from Y, below rows from the
       // parent.
@@ -460,7 +460,7 @@ std::pair<PhaseReport, PhaseReport> solve_two_dim(
             }
           }
         }
-        simpar::broadcast_from(proc, row_group, 0, vals, tag_bw_wrow(s));
+        exec::broadcast_from(proc, row_group, 0, vals, tag_bw_wrow(s));
         dest = std::move(vals);
       };
       if (tail1 > tail0) broadcast_segment(tail0, tail1 - tail0, wtail);
@@ -505,7 +505,7 @@ std::pair<PhaseReport, PhaseReport> solve_two_dim(
                 static_cast<double>(dense::gemm_flops(bk, m, len)),
                 proc.cost().panel_flop(m));
           }
-          simpar::reduce_sum_to(proc, col_group, owner_r, acc,
+          exec::reduce_sum_to(proc, col_group, owner_r, acc,
                                 tag_bw_reduce(s));
           if (gr == owner_r) {
             // Fetch W_K from the fragment owner, finish, store back.
@@ -575,7 +575,7 @@ std::pair<PhaseReport, PhaseReport> solve_two_dim(
         // it stashed in wrow[k].
         if (gr == owner_r) {
           std::vector<real_t> token = std::move(wrow[static_cast<std::size_t>(k)]);
-          simpar::broadcast_from(proc, row_group, owner_c, token,
+          exec::broadcast_from(proc, row_group, owner_c, token,
                                  tag_bw_bcast(s));
           wrow[static_cast<std::size_t>(k)] = std::move(token);
         }
@@ -596,7 +596,7 @@ std::pair<PhaseReport, PhaseReport> solve_two_dim(
           }
         }
         for (index_t c : ctx.children[static_cast<std::size_t>(s)]) {
-          const simpar::Group cg = map.group[static_cast<std::size_t>(c)];
+          const exec::Group cg = map.group[static_cast<std::size_t>(c)];
           const Geo cgeo = make_geo(cg, part.height(c), part.width(c),
                                     ctx.b2);
           const auto& pp = ctx.parent_pos[static_cast<std::size_t>(c)];

@@ -19,7 +19,7 @@
 #include "mapping/subtree_to_subcube.hpp"
 #include "numeric/supernodal_factor.hpp"
 #include "partrisolve/partrisolve.hpp"
-#include "simpar/machine.hpp"
+#include "exec/process.hpp"
 
 namespace sparts::partrisolve {
 
@@ -32,7 +32,7 @@ struct TwoDimOptions {
 /// phase reports.  Results equal the sequential solve (tested); only the
 /// costs differ from the 1-D solver.
 std::pair<PhaseReport, PhaseReport> solve_two_dim(
-    simpar::Machine& machine, const numeric::SupernodalFactor& factor,
+    exec::Comm& machine, const numeric::SupernodalFactor& factor,
     const mapping::SubcubeMapping& map, std::span<const real_t> b_in,
     std::span<real_t> x_out, index_t m, const TwoDimOptions& options = {});
 

@@ -7,7 +7,7 @@
 #include "common/error.hpp"
 #include "mapping/block_cyclic.hpp"
 #include "partrisolve/layout.hpp"
-#include "simpar/collectives.hpp"
+#include "exec/collectives.hpp"
 
 namespace sparts::redist {
 
@@ -35,7 +35,7 @@ std::vector<index_t> owned_rows_2d(index_t ns, index_t bf, index_t qr,
 
 }  // namespace
 
-Report redistribute_factor(simpar::Machine& machine,
+Report redistribute_factor(exec::Comm& machine,
                            const numeric::SupernodalFactor& factor,
                            const mapping::SubcubeMapping& map,
                            const Options& options,
@@ -48,7 +48,7 @@ Report redistribute_factor(simpar::Machine& machine,
     // Sequential supernodes do not move between the distributions (a
     // single owner holds the whole trapezoid either way): pack directly.
     for (index_t s = 0; s < nsup; ++s) {
-      const simpar::Group& g = map.group[static_cast<std::size_t>(s)];
+      const exec::Group& g = map.group[static_cast<std::size_t>(s)];
       if (g.count != 1) continue;
       auto& local = out->local_block(g.base, s);
       const auto block = factor.block(s);
@@ -56,10 +56,10 @@ Report redistribute_factor(simpar::Machine& machine,
     }
   }
 
-  auto spmd = [&](simpar::Proc& proc) {
+  auto spmd = [&](exec::Process& proc) {
     const index_t w = proc.rank();
     for (index_t s = 0; s < nsup; ++s) {
-      const simpar::Group g = map.group[static_cast<std::size_t>(s)];
+      const exec::Group g = map.group[static_cast<std::size_t>(s)];
       if (g.count < 2 || !g.contains(w)) continue;
       const index_t q = g.count;
       const index_t r = g.local(w);
@@ -96,7 +96,7 @@ Report redistribute_factor(simpar::Machine& machine,
       for (const auto& o : outgoing) pack_words += static_cast<nnz_t>(o.size());
       proc.compute_at(static_cast<double>(pack_words), proc.cost().t_mem);
 
-      auto incoming = simpar::all_to_all_personalized(
+      auto incoming = exec::all_to_all_personalized(
           proc, g, std::move(outgoing), static_cast<int>(8 * s));
 
       // Receive side: rebuild my 1-D rows and verify against the factor.

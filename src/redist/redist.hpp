@@ -16,7 +16,7 @@
 #include "mapping/subtree_to_subcube.hpp"
 #include "numeric/supernodal_factor.hpp"
 #include "partrisolve/dist_factor.hpp"
-#include "simpar/machine.hpp"
+#include "exec/process.hpp"
 
 namespace sparts::redist {
 
@@ -26,7 +26,7 @@ struct Options {
 };
 
 struct Report {
-  simpar::RunStats stats;
+  exec::RunStats stats;
   double time() const { return stats.parallel_time(); }
 };
 
@@ -41,7 +41,7 @@ struct Report {
 /// DistributedTrisolver's strict constructor so the solver consumes
 /// exactly the data that traveled through the network.  The out storage
 /// uses block size options.block_1d.
-Report redistribute_factor(simpar::Machine& machine,
+Report redistribute_factor(exec::Comm& machine,
                            const numeric::SupernodalFactor& factor,
                            const mapping::SubcubeMapping& map,
                            const Options& options = {},

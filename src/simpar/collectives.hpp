@@ -1,86 +1,20 @@
-// Collective operations layered on send/recv with the classic hypercube
-// algorithms (Kumar et al., ch. 4).  Each collective operates on a
-// contiguous group of ranks [base, base + count) of the machine, because
-// subtree-to-subcube mapping repeatedly runs collectives on subcubes.
-//
-// Costs (unit-tested in test_sim_collectives):
-//   broadcast / reduce:  log q * (t_s + m t_w)   (+ hop terms)
-//   all_to_all_personalized (hypercube pairwise): sum over log q rounds.
-//   barrier: reduce + broadcast of an empty token.
+// Forwarding header: the collectives moved to the backend-agnostic exec
+// layer (exec/collectives.hpp) so they run on any backend.  Kept so
+// simulator-era includes and spellings (simpar::broadcast etc.) work.
 #pragma once
 
-#include <span>
-#include <vector>
-
-#include "common/types.hpp"
+#include "exec/collectives.hpp"
 #include "simpar/machine.hpp"
 
 namespace sparts::simpar {
-
-/// A group of ranks acting as a q-processor subcube: members are
-/// base, base + stride, ..., base + (count-1)*stride.  Subtree-to-subcube
-/// groups are contiguous (stride 1); the grid columns of a 2-D processor
-/// grid are strided.  q must be a power of two for the hypercube
-/// algorithms.
-struct Group {
-  index_t base = 0;
-  index_t count = 1;
-  index_t stride = 1;
-
-  index_t local(index_t world_rank) const {
-    return (world_rank - base) / stride;
-  }
-  index_t world(index_t local_rank) const {
-    return base + local_rank * stride;
-  }
-  bool contains(index_t world_rank) const {
-    if (world_rank < base) return false;
-    const index_t d = world_rank - base;
-    return d % stride == 0 && d / stride < count;
-  }
-};
-
-/// Broadcast `data` from group-local root 0 to all ranks of the group.
-/// On non-root ranks, `data` is resized and overwritten.
-void broadcast(Proc& proc, const Group& g, std::vector<real_t>& data,
-               int tag);
-
-/// Broadcast from an arbitrary group-local root.
-void broadcast_from(Proc& proc, const Group& g, index_t root,
-                    std::vector<real_t>& data, int tag);
-
-/// Ring all-gather of variable-length contributions: returns result[r] =
-/// the vector contributed by group-local rank r, on every rank.
-std::vector<std::vector<real_t>> allgather(Proc& proc, const Group& g,
-                                           std::vector<real_t> mine, int tag);
-
-/// Element-wise sum-reduction to group-local root 0.  All ranks pass a
-/// vector of identical length; the root's vector holds the sum afterwards.
-void reduce_sum(Proc& proc, const Group& g, std::vector<real_t>& data,
-                int tag);
-
-/// Sum-reduction to an arbitrary group-local root.
-void reduce_sum_to(Proc& proc, const Group& g, index_t root,
-                   std::vector<real_t>& data, int tag);
-
-/// reduce_sum followed by broadcast.
-void allreduce_sum(Proc& proc, const Group& g, std::vector<real_t>& data,
-                   int tag);
-
-/// Synchronize the group: no rank returns before every rank has entered.
-void barrier(Proc& proc, const Group& g, int tag);
-
-/// All-to-all personalized exchange: `outgoing[r]` is this rank's data for
-/// group-local rank r.  Returns incoming[r] = data sent by group-local
-/// rank r to this rank.  Hypercube pairwise-exchange algorithm
-/// (log q rounds, each rank forwarding half its accumulated load).
-std::vector<std::vector<real_t>> all_to_all_personalized(
-    Proc& proc, const Group& g, std::vector<std::vector<real_t>> outgoing,
-    int tag);
-
-/// Gather variable-length vectors to group-local root 0:
-/// root receives contributions[r] from each rank r (its own included).
-std::vector<std::vector<real_t>> gather(Proc& proc, const Group& g,
-                                        std::vector<real_t> mine, int tag);
-
+using exec::Group;
+using exec::all_to_all_personalized;
+using exec::allgather;
+using exec::allreduce_sum;
+using exec::barrier;
+using exec::broadcast;
+using exec::broadcast_from;
+using exec::gather;
+using exec::reduce_sum;
+using exec::reduce_sum_to;
 }  // namespace sparts::simpar

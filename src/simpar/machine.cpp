@@ -7,62 +7,38 @@
 namespace sparts::simpar {
 
 // ---------------------------------------------------------------------------
-// RunStats
+// SimProcess: the simulator's exec::Process implementation
 // ---------------------------------------------------------------------------
 
-double RunStats::parallel_time() const {
-  double t = 0.0;
-  for (const auto& p : procs) t = std::max(t, p.clock);
-  return t;
-}
+class Machine::SimProcess final : public exec::Process {
+ public:
+  SimProcess(Machine* machine, index_t rank)
+      : machine_(machine), rank_(rank) {}
 
-nnz_t RunStats::total_flops() const {
-  nnz_t f = 0;
-  for (const auto& p : procs) f += p.flops;
-  return f;
-}
+  index_t rank() const override { return rank_; }
+  index_t nprocs() const override { return machine_->nprocs(); }
+  double now() const override { return machine_->do_now(rank_); }
+  void compute(double flops, FlopKind kind) override {
+    machine_->do_compute(rank_, flops, kind);
+  }
+  void compute_at(double flops, double seconds_per_flop) override {
+    machine_->do_compute_at(rank_, flops, seconds_per_flop);
+  }
+  void elapse(double seconds) override { machine_->do_elapse(rank_, seconds); }
+  void send(index_t dst, int tag,
+            std::span<const std::byte> payload) override {
+    machine_->do_send(rank_, dst, tag, payload);
+  }
+  ReceivedMessage recv(index_t src, int tag) override {
+    return machine_->do_recv(rank_, src, tag);
+  }
+  const CostModel& cost() const override { return machine_->cost(); }
+  const Topology& topology() const override { return machine_->topology(); }
 
-nnz_t RunStats::total_messages() const {
-  nnz_t m = 0;
-  for (const auto& p : procs) m += p.messages_sent;
-  return m;
-}
-
-nnz_t RunStats::total_words() const {
-  nnz_t w = 0;
-  for (const auto& p : procs) w += p.words_sent;
-  return w;
-}
-
-double RunStats::efficiency() const {
-  const double tp = parallel_time();
-  if (tp <= 0.0 || procs.empty()) return 1.0;
-  double busy = 0.0;
-  for (const auto& p : procs) busy += p.compute_time;
-  return busy / (tp * static_cast<double>(procs.size()));
-}
-
-// ---------------------------------------------------------------------------
-// Proc forwarding
-// ---------------------------------------------------------------------------
-
-index_t Proc::nprocs() const { return machine_->nprocs(); }
-double Proc::now() const { return machine_->do_now(rank_); }
-void Proc::compute(double flops, FlopKind kind) {
-  machine_->do_compute(rank_, flops, kind);
-}
-void Proc::compute_at(double flops, double seconds_per_flop) {
-  machine_->do_compute_at(rank_, flops, seconds_per_flop);
-}
-void Proc::elapse(double seconds) { machine_->do_elapse(rank_, seconds); }
-void Proc::send(index_t dst, int tag, std::span<const std::byte> payload) {
-  machine_->do_send(rank_, dst, tag, payload);
-}
-ReceivedMessage Proc::recv(index_t src, int tag) {
-  return machine_->do_recv(rank_, src, tag);
-}
-const CostModel& Proc::cost() const { return machine_->cost(); }
-const Topology& Proc::topology() const { return machine_->topology(); }
+ private:
+  Machine* machine_;
+  index_t rank_;
+};
 
 // ---------------------------------------------------------------------------
 // Machine
@@ -245,7 +221,7 @@ void Machine::worker(index_t rank, const std::function<void(Proc&)>& spmd) {
   }
   auto& pc = *procs_[static_cast<std::size_t>(rank)];
   try {
-    Proc proc(this, rank);
+    SimProcess proc(this, rank);
     spmd(proc);
   } catch (...) {
     pc.error = std::current_exception();

@@ -1,4 +1,5 @@
-// The simulated distributed-memory machine.
+// The simulated distributed-memory machine — the deterministic backend of
+// the exec layer (see exec/process.hpp for the backend-agnostic contract).
 //
 // Machine::run executes an SPMD function on p virtual processors.  Each
 // processor is a host thread, but a strict-handoff scheduler runs exactly
@@ -17,12 +18,11 @@
 //   proc.recv(src, tag)                blocking receive (src = kAnySource
 //                                      matches any sender)
 // plus typed span helpers.  Collectives are layered on top in
-// collectives.hpp.
+// exec/collectives.hpp.
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
-#include <cstring>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -31,125 +31,26 @@
 
 #include "common/error.hpp"
 #include "common/types.hpp"
-#include "simpar/cost_model.hpp"
-#include "simpar/topology.hpp"
+#include "exec/process.hpp"
 
 namespace sparts::simpar {
 
-/// Wildcard source rank for recv.
-inline constexpr index_t kAnySource = -1;
+// The message-passing vocabulary moved to the backend-agnostic exec layer;
+// these aliases keep simulator-era spellings working.
+using exec::kAnySource;
+using exec::CostModel;
+using exec::FlopKind;
+using exec::ProcStats;
+using exec::ReceivedMessage;
+using exec::RunStats;
+using exec::Topology;
+using exec::TopologyKind;
 
-/// Per-processor statistics, available after the run.
-struct ProcStats {
-  double clock = 0.0;         ///< local time at termination
-  double compute_time = 0.0;  ///< time spent in compute()
-  double send_time = 0.0;     ///< sender occupancy of send()
-  double idle_time = 0.0;     ///< time spent waiting in recv()
-  nnz_t flops = 0;
-  nnz_t messages_sent = 0;
-  nnz_t words_sent = 0;
-};
+/// Historical name for the rank handle; SPMD code written against the
+/// simulator runs unchanged on any exec backend.
+using Proc = exec::Process;
 
-/// Aggregated statistics of a run.
-struct RunStats {
-  std::vector<ProcStats> procs;
-
-  /// Parallel runtime: the maximum local clock.
-  double parallel_time() const;
-  /// Total flops across all processors.
-  nnz_t total_flops() const;
-  /// Total messages across all processors.
-  nnz_t total_messages() const;
-  /// Total words across all processors.
-  nnz_t total_words() const;
-  /// sum(compute_time) / (p * parallel_time)
-  double efficiency() const;
-};
-
-/// A received message.
-struct ReceivedMessage {
-  index_t source = -1;
-  int tag = 0;
-  std::vector<std::byte> payload;
-};
-
-class Machine;
-
-/// Handle through which SPMD code interacts with its virtual processor.
-/// Only valid inside Machine::run.
-class Proc {
- public:
-  index_t rank() const { return rank_; }
-  index_t nprocs() const;
-
-  /// Local simulated time.
-  double now() const;
-
-  /// Advance the local clock by `flops * t_c(kind)`.
-  void compute(double flops, FlopKind kind = FlopKind::blas1);
-
-  /// Advance the local clock by `flops` at an explicit per-flop cost (used
-  /// for the BLAS-2/3 interpolation on multi-RHS panels).
-  void compute_at(double flops, double seconds_per_flop);
-
-  /// Advance the local clock by raw seconds (e.g. fixed overheads).
-  void elapse(double seconds);
-
-  /// Send `payload` to `dst` with `tag`.  The local clock advances by the
-  /// sender occupancy; the message arrives at
-  /// send_start + t_s + hops*t_h + words*t_w.
-  void send(index_t dst, int tag, std::span<const std::byte> payload);
-
-  /// Typed helper: send a span of trivially copyable values.
-  template <typename T>
-  void send_values(index_t dst, int tag, std::span<const T> values) {
-    static_assert(std::is_trivially_copyable_v<T>);
-    send(dst, tag,
-         {reinterpret_cast<const std::byte*>(values.data()),
-          values.size() * sizeof(T)});
-  }
-
-  /// Typed helper: send a single value.
-  template <typename T>
-  void send_value(index_t dst, int tag, const T& value) {
-    send_values<T>(dst, tag, {&value, 1});
-  }
-
-  /// Blocking receive.  `src` may be kAnySource.  The local clock becomes
-  /// max(clock, arrival time of the matched message).
-  ReceivedMessage recv(index_t src, int tag);
-
-  /// Typed helper: receive a vector of trivially copyable values.
-  template <typename T>
-  std::vector<T> recv_values(index_t src, int tag) {
-    static_assert(std::is_trivially_copyable_v<T>);
-    ReceivedMessage msg = recv(src, tag);
-    SPARTS_CHECK(msg.payload.size() % sizeof(T) == 0,
-                 "payload size not a multiple of the element size");
-    std::vector<T> out(msg.payload.size() / sizeof(T));
-    std::memcpy(out.data(), msg.payload.data(), msg.payload.size());
-    return out;
-  }
-
-  /// Typed helper: receive exactly one value.
-  template <typename T>
-  T recv_value(index_t src, int tag) {
-    auto v = recv_values<T>(src, tag);
-    SPARTS_CHECK(v.size() == 1, "expected a single value");
-    return v[0];
-  }
-
-  const CostModel& cost() const;
-  const Topology& topology() const;
-
- private:
-  friend class Machine;
-  Proc(Machine* machine, index_t rank) : machine_(machine), rank_(rank) {}
-  Machine* machine_;
-  index_t rank_;
-};
-
-class Machine {
+class Machine final : public exec::Comm {
  public:
   struct Config {
     index_t nprocs = 1;
@@ -162,14 +63,14 @@ class Machine {
   /// Run `spmd` on every rank to completion; returns per-rank statistics.
   /// Rethrows the first exception thrown by user code (by rank order).
   /// Throws DeadlockError if every unfinished rank blocks in recv forever.
-  RunStats run(const std::function<void(Proc&)>& spmd);
+  RunStats run(const std::function<void(Proc&)>& spmd) override;
 
-  index_t nprocs() const { return config_.nprocs; }
-  const CostModel& cost() const { return config_.cost; }
-  const Topology& topology() const { return topology_; }
+  index_t nprocs() const override { return config_.nprocs; }
+  const CostModel& cost() const override { return config_.cost; }
+  const Topology& topology() const override { return topology_; }
 
  private:
-  friend class Proc;
+  class SimProcess;
 
   struct Message {
     index_t src;
@@ -194,7 +95,7 @@ class Machine {
     std::exception_ptr error;
   };
 
-  // Proc entry points (called from worker threads).
+  // Process entry points (called from worker threads).
   void do_compute(index_t rank, double flops, FlopKind kind);
   void do_compute_at(index_t rank, double flops, double per_flop);
   void do_elapse(index_t rank, double seconds);

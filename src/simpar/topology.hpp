@@ -1,54 +1,11 @@
-// Interconnect topologies: the only thing the cost model needs from a
-// topology is the hop count between two ranks.
+// Forwarding header: topologies moved to the backend-agnostic exec layer
+// (exec/topology.hpp).  Kept so simulator-era includes and spellings
+// (simpar::Topology) continue to work.
 #pragma once
 
-#include <bit>
-#include <cstdint>
-
-#include "common/error.hpp"
-#include "common/types.hpp"
+#include "exec/topology.hpp"
 
 namespace sparts::simpar {
-
-enum class TopologyKind {
-  fully_connected,  ///< one hop between any pair
-  hypercube,        ///< hops = popcount(src ^ dst); p must be a power of two
-  ring,             ///< hops = min cyclic distance
-};
-
-class Topology {
- public:
-  Topology() = default;
-  Topology(TopologyKind kind, index_t nprocs) : kind_(kind), p_(nprocs) {
-    SPARTS_CHECK(nprocs >= 1);
-    if (kind == TopologyKind::hypercube) {
-      SPARTS_CHECK((nprocs & (nprocs - 1)) == 0,
-                   "hypercube needs a power-of-two processor count");
-    }
-  }
-
-  TopologyKind kind() const { return kind_; }
-  index_t nprocs() const { return p_; }
-
-  index_t hops(index_t src, index_t dst) const {
-    SPARTS_DCHECK(src >= 0 && src < p_ && dst >= 0 && dst < p_);
-    if (src == dst) return 0;
-    switch (kind_) {
-      case TopologyKind::fully_connected:
-        return 1;
-      case TopologyKind::hypercube:
-        return std::popcount(static_cast<std::uint64_t>(src ^ dst));
-      case TopologyKind::ring: {
-        const index_t d = src < dst ? dst - src : src - dst;
-        return std::min(d, p_ - d);
-      }
-    }
-    return 1;
-  }
-
- private:
-  TopologyKind kind_ = TopologyKind::hypercube;
-  index_t p_ = 1;
-};
-
+using exec::Topology;
+using exec::TopologyKind;
 }  // namespace sparts::simpar

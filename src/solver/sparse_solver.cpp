@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "exec/thread_backend.hpp"
 #include "mapping/subtree_to_subcube.hpp"
 #include "numeric/multifrontal.hpp"
 #include "ordering/mindeg.hpp"
@@ -50,6 +51,29 @@ symbolic::SupernodePartition analyze(const sparse::SymmetricCsc& a_perm,
     info->solve_flops_per_rhs = sym.solve_flops(1);
   }
   return part;
+}
+
+/// One fresh backend per phase, so each phase's stats start from zero (the
+/// simulator additionally requires a fresh Machine per run for determinism
+/// of message sequence numbers).
+std::unique_ptr<exec::Comm> make_backend(ExecutionBackend backend,
+                                         index_t p) {
+  switch (backend) {
+    case ExecutionBackend::simulated: {
+      simpar::Machine::Config cfg;
+      cfg.nprocs = p;
+      cfg.cost = exec::CostModel::t3d();
+      cfg.topology = exec::TopologyKind::hypercube;
+      return std::make_unique<simpar::Machine>(cfg);
+    }
+    case ExecutionBackend::threads: {
+      exec::ThreadBackend::Config cfg;
+      cfg.nprocs = p;
+      cfg.cost = exec::CostModel::t3d();
+      return std::make_unique<exec::ThreadBackend>(cfg);
+    }
+  }
+  throw InvalidArgument("unknown execution backend");
 }
 
 }  // namespace
@@ -144,11 +168,6 @@ ParallelSolveResult parallel_solve(const sparse::SymmetricCsc& a,
   const symbolic::SupernodePartition part =
       analyze(a_perm, options, nullptr);
 
-  simpar::Machine::Config cfg;
-  cfg.nprocs = p;
-  cfg.cost = simpar::CostModel::t3d();
-  cfg.topology = simpar::TopologyKind::hypercube;
-
   ParallelSolveResult result;
 
   // Phase 1: parallel factorization with 2-D partitioned fronts.
@@ -156,9 +175,9 @@ ParallelSolveResult parallel_solve(const sparse::SymmetricCsc& a,
       part, p, mapping::factor_work_weights(part));
   numeric::SupernodalFactor factor;
   {
-    simpar::Machine machine(cfg);
+    auto machine = make_backend(options.backend, p);
     result.factor_time =
-        parfact::parallel_multifrontal(machine, a_perm, part, fact_map,
+        parfact::parallel_multifrontal(*machine, a_perm, part, fact_map,
                                        factor)
             .time();
   }
@@ -170,9 +189,9 @@ ParallelSolveResult parallel_solve(const sparse::SymmetricCsc& a,
   const redist::Options redist_options;
   partrisolve::DistributedFactor local_factor;
   {
-    simpar::Machine machine(cfg);
+    auto machine = make_backend(options.backend, p);
     result.redist_time =
-        redist::redistribute_factor(machine, factor, solve_map,
+        redist::redistribute_factor(*machine, factor, solve_map,
                                     redist_options, &local_factor)
             .time();
   }
@@ -191,8 +210,8 @@ ParallelSolveResult parallel_solve(const sparse::SymmetricCsc& a,
     solver_options.block_size = redist_options.block_1d;
     partrisolve::DistributedTrisolver solver(factor, &local_factor,
                                              solve_map, solver_options);
-    simpar::Machine machine(cfg);
-    auto [fw, bw] = solver.solve(machine, b_perm, x_perm, m);
+    auto machine = make_backend(options.backend, p);
+    auto [fw, bw] = solver.solve(*machine, b_perm, x_perm, m);
     result.forward_time = fw.time();
     result.backward_time = bw.time();
   }

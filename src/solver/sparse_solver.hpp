@@ -26,11 +26,21 @@ enum class OrderingMethod {
   rcm,
 };
 
+/// Which exec backend runs the parallel phases of parallel_solve.
+enum class ExecutionBackend {
+  simulated,  ///< simpar::Machine: deterministic cost-model clocks
+  threads,    ///< exec::ThreadBackend: one std::thread per rank, wall clock
+};
+
 struct Options {
   OrderingMethod ordering = OrderingMethod::nested_dissection;
   /// Relaxed supernode amalgamation: 0 disables (fundamental supernodes).
   index_t amalgamation_max_width = 0;
   nnz_t amalgamation_relax_zeros = 0;
+  /// Backend for parallel_solve.  With `simulated` the reported phase times
+  /// are predicted T3D seconds; with `threads` they are measured wall-clock
+  /// seconds on this host.
+  ExecutionBackend backend = ExecutionBackend::simulated;
 };
 
 struct AnalysisInfo {

@@ -15,6 +15,8 @@
 #include "sparse/generators.hpp"
 #include "sparse/permutation.hpp"
 #include "trisolve/trisolve.hpp"
+#include "simpar/collectives.hpp"
+#include "simpar/machine.hpp"
 
 namespace sparts {
 namespace {

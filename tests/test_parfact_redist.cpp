@@ -17,6 +17,7 @@
 #include "symbolic/supernodes.hpp"
 #include "symbolic/symbolic.hpp"
 #include "trisolve/trisolve.hpp"
+#include "simpar/machine.hpp"
 
 namespace sparts {
 namespace {

@@ -9,6 +9,7 @@
 #include "sparse/generators.hpp"
 #include "sparse/permutation.hpp"
 #include "symbolic/symbolic.hpp"
+#include "simpar/machine.hpp"
 
 namespace sparts {
 namespace {

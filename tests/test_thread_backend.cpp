@@ -1,0 +1,305 @@
+// Stress and correctness tests for exec::ThreadBackend — the backend where
+// every rank really is a concurrent std::thread, so these tests exercise
+// true interleavings (run them under -DSPARTS_SANITIZE=thread).  Registered
+// under the CTest label `real` with a timeout: a mailbox bug here shows up
+// as a hang, and the timeout turns that hang into a failure.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "exec/collectives.hpp"
+#include "exec/thread_backend.hpp"
+#include "mapping/subtree_to_subcube.hpp"
+#include "numeric/multifrontal.hpp"
+#include "ordering/nested_dissection.hpp"
+#include "partrisolve/partrisolve.hpp"
+#include "simpar/machine.hpp"
+#include "sparse/generators.hpp"
+#include "sparse/permutation.hpp"
+#include "trisolve/trisolve.hpp"
+
+namespace sparts {
+namespace {
+
+exec::ThreadBackend make_backend(index_t p, double timeout = 30.0) {
+  exec::ThreadBackend::Config cfg;
+  cfg.nprocs = p;
+  cfg.recv_timeout = timeout;
+  return exec::ThreadBackend(cfg);
+}
+
+/// Payload content as a pure function of (src, tag, len): receivers can
+/// verify integrity without any side channel.
+std::vector<real_t> stamp(index_t src, int tag, index_t len) {
+  std::vector<real_t> v(static_cast<std::size_t>(len));
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    v[i] = static_cast<real_t>(src) * 1000.0 + static_cast<real_t>(tag) +
+           static_cast<real_t>(i) * 0.5;
+  }
+  return v;
+}
+
+TEST(ThreadBackend, PingPongPreservesPayload) {
+  exec::ThreadBackend backend = make_backend(2);
+  const exec::RunStats stats = backend.run([](exec::Process& proc) {
+    if (proc.rank() == 0) {
+      proc.send_values<real_t>(1, 7, stamp(0, 7, 64));
+      const auto back = proc.recv_values<real_t>(1, 8);
+      ASSERT_EQ(back, stamp(1, 8, 32));
+    } else {
+      const auto got = proc.recv_values<real_t>(0, 7);
+      ASSERT_EQ(got, stamp(0, 7, 64));
+      proc.send_values<real_t>(0, 8, stamp(1, 8, 32));
+    }
+  });
+  EXPECT_EQ(stats.total_messages(), 2);
+  EXPECT_EQ(stats.total_words(), 96);
+}
+
+TEST(ThreadBackend, OutOfOrderTagsAreMatchedByTag) {
+  // The sender emits tags in descending order; the receiver asks for them
+  // ascending.  Tag matching must pick the right queued message each time.
+  exec::ThreadBackend backend = make_backend(2);
+  backend.run([](exec::Process& proc) {
+    constexpr int kTags = 9;
+    if (proc.rank() == 0) {
+      for (int tag = kTags; tag >= 1; --tag) {
+        proc.send_values<real_t>(1, tag, stamp(0, tag, tag));
+      }
+    } else {
+      for (int tag = 1; tag <= kTags; ++tag) {
+        const auto got = proc.recv_values<real_t>(0, tag);
+        ASSERT_EQ(got, stamp(0, tag, tag));
+      }
+    }
+  });
+}
+
+TEST(ThreadBackend, AnySourceFanInSeesEverySenderOnce) {
+  for (const index_t p : {2, 4, 8, 16}) {
+    exec::ThreadBackend backend = make_backend(p);
+    backend.run([p](exec::Process& proc) {
+      if (proc.rank() == 0) {
+        std::vector<int> seen(static_cast<std::size_t>(p), 0);
+        for (index_t i = 1; i < p; ++i) {
+          const auto msg = proc.recv(exec::kAnySource, 3);
+          ASSERT_GE(msg.source, 1);
+          ASSERT_LT(msg.source, p);
+          ++seen[static_cast<std::size_t>(msg.source)];
+          // Integrity: the payload must belong to the claimed source.
+          const auto vals = stamp(msg.source, 3, 16);
+          ASSERT_EQ(msg.payload.size(), vals.size() * sizeof(real_t));
+          std::vector<real_t> got(vals.size());
+          std::memcpy(got.data(), msg.payload.data(), msg.payload.size());
+          ASSERT_EQ(got, vals);
+        }
+        for (index_t r = 1; r < p; ++r) {
+          EXPECT_EQ(seen[static_cast<std::size_t>(r)], 1) << "source " << r;
+        }
+      } else {
+        proc.send_values<real_t>(0, 3, stamp(proc.rank(), 3, 16));
+      }
+    });
+  }
+}
+
+TEST(ThreadBackend, RandomizedRingExchangeStress) {
+  // Several rounds of ring traffic with randomized payload lengths and a
+  // shuffled per-round tag schedule on 2..16 threads.  Termination (no
+  // deadlock/livelock) is part of the assertion: the CTest timeout fails a
+  // hung run.
+  for (const index_t p : {2, 3, 4, 8, 16}) {
+    exec::ThreadBackend backend = make_backend(p);
+    constexpr int kRounds = 25;
+    backend.run([p](exec::Process& proc) {
+      const index_t me = proc.rank();
+      const index_t next = (me + 1) % p;
+      const index_t prev = (me + p - 1) % p;
+      // Per-rank deterministic schedule; sender and receiver derive the
+      // same lengths from the sender's seed.
+      Rng send_rng(static_cast<std::uint64_t>(me) * 7919 + 1);
+      Rng recv_rng(static_cast<std::uint64_t>(prev) * 7919 + 1);
+      std::vector<int> tags(kRounds);
+      std::iota(tags.begin(), tags.end(), 100);
+      for (int round = 0; round < kRounds; ++round) {
+        const int send_tag = tags[static_cast<std::size_t>(round)];
+        const index_t send_len =
+            1 + static_cast<index_t>(send_rng.next_below(200));
+        proc.send_values<real_t>(next, send_tag,
+                                 stamp(me, send_tag, send_len));
+        const index_t want_len =
+            1 + static_cast<index_t>(recv_rng.next_below(200));
+        const auto got =
+            proc.recv_values<real_t>(prev, tags[static_cast<std::size_t>(
+                                               round)]);
+        ASSERT_EQ(got, stamp(prev, send_tag, want_len));
+      }
+    });
+  }
+}
+
+TEST(ThreadBackend, HypercubeCollectivesMatchExpectedValues) {
+  // The same collectives that power the solvers, on real threads: binomial
+  // broadcast, reduction, ring allgather, and the pairwise all-to-all.
+  for (const index_t p : {2, 4, 8}) {
+    exec::ThreadBackend backend = make_backend(p);
+    backend.run([p](exec::Process& proc) {
+      const exec::Group g{0, p, 1};
+      const index_t me = proc.rank();
+
+      std::vector<real_t> data = me == 0 ? stamp(0, 1, 10)
+                                         : std::vector<real_t>{};
+      exec::broadcast(proc, g, data, 10);
+      ASSERT_EQ(data, stamp(0, 1, 10));
+
+      std::vector<real_t> ones(8, static_cast<real_t>(me + 1));
+      exec::reduce_sum(proc, g, ones, 20);
+      if (me == 0) {
+        const real_t expect =
+            static_cast<real_t>(p) * static_cast<real_t>(p + 1) / 2.0;
+        for (const real_t v : ones) ASSERT_EQ(v, expect);
+      }
+
+      const auto gathered =
+          exec::allgather(proc, g, stamp(me, 2, me + 1), 30);
+      for (index_t r = 0; r < p; ++r) {
+        ASSERT_EQ(gathered[static_cast<std::size_t>(r)], stamp(r, 2, r + 1));
+      }
+
+      std::vector<std::vector<real_t>> outgoing(
+          static_cast<std::size_t>(p));
+      for (index_t r = 0; r < p; ++r) {
+        outgoing[static_cast<std::size_t>(r)] = stamp(me, 40 + r, 4);
+      }
+      const auto incoming =
+          exec::all_to_all_personalized(proc, g, std::move(outgoing), 50);
+      for (index_t r = 0; r < p; ++r) {
+        ASSERT_EQ(incoming[static_cast<std::size_t>(r)],
+                  stamp(r, 40 + me, 4));
+      }
+    });
+  }
+}
+
+TEST(ThreadBackend, DeadlockWhenEveryPeerExitsIsReported) {
+  // Rank 1 exits without sending; rank 0's recv can never complete.  The
+  // backend must detect this promptly (no 30 s timeout wait) and raise
+  // DeadlockError out of run().
+  exec::ThreadBackend backend = make_backend(2);
+  EXPECT_THROW(backend.run([](exec::Process& proc) {
+                 if (proc.rank() == 0) proc.recv(1, 1);
+               }),
+               DeadlockError);
+}
+
+TEST(ThreadBackend, CyclicDeadlockHitsTimeout) {
+  // Both ranks wait on each other: only the recv timeout can break this.
+  exec::ThreadBackend backend = make_backend(2, /*timeout=*/0.2);
+  EXPECT_THROW(backend.run([](exec::Process& proc) {
+                 proc.recv(1 - proc.rank(), 1);
+               }),
+               DeadlockError);
+}
+
+TEST(ThreadBackend, UserErrorsTakePriorityOverSecondaryUnwinds) {
+  exec::ThreadBackend backend = make_backend(4);
+  try {
+    backend.run([](exec::Process& proc) {
+      if (proc.rank() == 2) throw NumericalError("rank 2 exploded");
+      if (proc.rank() != 2) proc.recv(2, 1);  // never satisfied
+    });
+    FAIL() << "expected NumericalError";
+  } catch (const NumericalError& e) {
+    EXPECT_NE(std::string(e.what()).find("rank 2 exploded"),
+              std::string::npos);
+  }
+}
+
+TEST(ThreadBackend, TrisolverMatchesSequentialOnRealThreads) {
+  // The tentpole promise: the identical DistributedTrisolver source that
+  // reproduces the paper on the simulator also runs natively parallel.
+  sparse::SymmetricCsc a0 = sparse::grid2d(13, 13);
+  const sparse::Permutation perm = ordering::nested_dissection_grid2d(13, 13);
+  sparse::SymmetricCsc a = sparse::permute_symmetric(a0, perm);
+  numeric::SupernodalFactor l = numeric::multifrontal_cholesky(a);
+  const index_t n = a.n();
+  constexpr index_t m = 4;
+
+  Rng rng(21);
+  const std::vector<real_t> rhs = sparse::random_rhs(n, m, rng);
+  std::vector<real_t> ref = rhs;
+  trisolve::full_solve(l, ref.data(), m);
+
+  for (const index_t p : {2, 4, 8}) {
+    for (const auto variant :
+         {partrisolve::Pipelining::column_priority,
+          partrisolve::Pipelining::row_priority,
+          partrisolve::Pipelining::fan_out}) {
+      const mapping::SubcubeMapping map =
+          mapping::subtree_to_subcube(l.partition(), p);
+      partrisolve::Options opt;
+      opt.pipelining = variant;
+      partrisolve::DistributedTrisolver solver(l, map, opt);
+      exec::ThreadBackend backend = make_backend(p);
+      std::vector<real_t> x(static_cast<std::size_t>(n * m), 0.0);
+      solver.solve(backend, rhs, x, m);
+      for (std::size_t i = 0; i < x.size(); ++i) {
+        ASSERT_NEAR(x[i], ref[i], 1e-9)
+            << "p=" << p << " variant=" << static_cast<int>(variant)
+            << " entry " << i;
+      }
+      ASSERT_LT(trisolve::relative_residual(a, x, rhs, m), 1e-9);
+    }
+  }
+}
+
+TEST(ThreadBackend, EventCountsMatchTheSimulatorExactly) {
+  // Both backends run the same program, so the discrete events — flops
+  // declared, messages and words sent — must agree exactly; only the
+  // clocks differ (cost model vs. wall clock).
+  sparse::SymmetricCsc a0 = sparse::grid2d(11, 11);
+  const sparse::Permutation perm = ordering::nested_dissection_grid2d(11, 11);
+  sparse::SymmetricCsc a = sparse::permute_symmetric(a0, perm);
+  numeric::SupernodalFactor l = numeric::multifrontal_cholesky(a);
+  const index_t n = a.n();
+  constexpr index_t p = 4;
+  constexpr index_t m = 2;
+
+  Rng rng(5);
+  const std::vector<real_t> rhs = sparse::random_rhs(n, m, rng);
+  const mapping::SubcubeMapping map =
+      mapping::subtree_to_subcube(l.partition(), p);
+
+  auto run_forward = [&](exec::Comm& comm) {
+    partrisolve::DistributedTrisolver solver(l, map, partrisolve::Options{});
+    std::vector<real_t> y(static_cast<std::size_t>(n * m), 0.0);
+    return solver.forward(comm, rhs, y, m).stats;
+  };
+
+  simpar::Machine::Config sim_cfg;
+  sim_cfg.nprocs = p;
+  simpar::Machine machine(sim_cfg);
+  const exec::RunStats sim = run_forward(machine);
+
+  exec::ThreadBackend backend = make_backend(p);
+  const exec::RunStats real = run_forward(backend);
+
+  ASSERT_EQ(sim.procs.size(), real.procs.size());
+  for (std::size_t r = 0; r < sim.procs.size(); ++r) {
+    EXPECT_EQ(sim.procs[r].flops, real.procs[r].flops) << "rank " << r;
+    EXPECT_EQ(sim.procs[r].messages_sent, real.procs[r].messages_sent)
+        << "rank " << r;
+    EXPECT_EQ(sim.procs[r].words_sent, real.procs[r].words_sent)
+        << "rank " << r;
+  }
+  EXPECT_GT(real.parallel_time(), 0.0);  // wall clock actually advanced
+}
+
+}  // namespace
+}  // namespace sparts

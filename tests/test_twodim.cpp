@@ -13,6 +13,7 @@
 #include "sparse/generators.hpp"
 #include "sparse/permutation.hpp"
 #include "trisolve/trisolve.hpp"
+#include "simpar/machine.hpp"
 
 namespace sparts {
 namespace {
