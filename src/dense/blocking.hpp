@@ -1,0 +1,98 @@
+// Cache-blocking parameters and packing routines for the tiled dense
+// kernels (see docs/kernels.md).
+//
+// The tiled GEMM follows the classic three-level blocking scheme
+// (Goto/BLIS): the operand matrices are cut into KC x NC blocks of B
+// (packed once per block, reused across the whole M dimension) and
+// MC x KC blocks of A (packed into contiguous MR-row micro-panels so the
+// microkernel streams them with unit stride).  Packing also
+//   * folds the alpha scale into B, so the microkernel is a pure
+//     multiply-accumulate;
+//   * zero-pads ragged edges up to MR/NR, so the microkernel never needs
+//     a bounds check (the caller discards the padded rows/columns when
+//     accumulating into C);
+//   * absorbs arbitrary row/column strides, which lets one core routine
+//     serve A, A^T and the B^T operand of SYRK.
+//
+// Everything here has internal linkage (static): this header is included
+// by per-ISA translation units compiled with different instruction-set
+// flags (kernels_tiled_*.cpp), and external-linkage inline functions
+// would COMDAT-merge across those TUs, letting e.g. an AVX2-compiled
+// packing routine leak into the portable code path.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace sparts::dense::detail {
+
+/// Microkernel register tile: MR x NR accumulators.
+inline constexpr index_t kMR = 8;
+inline constexpr index_t kNR = 4;
+
+/// Cache blocks: A-pack is MC x KC (sized for L2), B-pack is KC x NC.
+inline constexpr index_t kMC = 128;
+inline constexpr index_t kKC = 256;
+inline constexpr index_t kNC = 512;
+
+/// Diagonal-tile width for the blocked TRSM / Cholesky algorithms: the
+/// t x t triangle is solved in TB-wide tiles, everything below/right of a
+/// tile is updated through the tiled GEMM core.
+inline constexpr index_t kTB = 64;
+
+/// Strip length (elements per column) for the fused-AXPY small-n GEMM:
+/// n + 1 strips of this size stay resident in L1.
+inline constexpr index_t kStrip = 512;
+
+static inline index_t round_up(index_t v, index_t unit) {
+  return (v + unit - 1) / unit * unit;
+}
+
+/// Pack an mc x kc block of A, with general element strides
+/// A(i, l) = a[i * rs + l * cs], into MR-row micro-panels:
+/// out holds ceil(mc/MR) panels of kc * MR values, panel p storing
+/// rows [p*MR, p*MR + MR) column by column, zero-padded past row mc.
+static inline void pack_a(index_t mc, index_t kc, const real_t* a, index_t rs,
+                   index_t cs, real_t* out) {
+  for (index_t i0 = 0; i0 < mc; i0 += kMR) {
+    const index_t mr = std::min(kMR, mc - i0);
+    const real_t* ablk = a + i0 * rs;
+    for (index_t l = 0; l < kc; ++l) {
+      for (index_t i = 0; i < mr; ++i) out[i] = ablk[i * rs + l * cs];
+      for (index_t i = mr; i < kMR; ++i) out[i] = 0.0;
+      out += kMR;
+    }
+  }
+}
+
+/// Pack a kc x nc block of B, with general element strides
+/// B(l, j) = b[l * rs + j * cs], scaled by alpha, into NR-column
+/// micro-panels (kc * NR values each), zero-padded past column nc.
+static inline void pack_b(index_t kc, index_t nc, real_t alpha, const real_t* b,
+                   index_t rs, index_t cs, real_t* out) {
+  for (index_t j0 = 0; j0 < nc; j0 += kNR) {
+    const index_t nr = std::min(kNR, nc - j0);
+    const real_t* bblk = b + j0 * cs;
+    for (index_t l = 0; l < kc; ++l) {
+      for (index_t j = 0; j < nr; ++j) out[j] = alpha * bblk[l * rs + j * cs];
+      for (index_t j = nr; j < kNR; ++j) out[j] = 0.0;
+      out += kNR;
+    }
+  }
+}
+
+/// Per-thread packing workspace.  thread_local so the ThreadBackend's
+/// rank threads never contend.
+struct PackWorkspace {
+  std::vector<real_t> a;
+  std::vector<real_t> b;
+};
+
+static inline PackWorkspace& pack_workspace() {
+  thread_local PackWorkspace ws;
+  return ws;
+}
+
+}  // namespace sparts::dense::detail

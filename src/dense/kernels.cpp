@@ -1,10 +1,78 @@
+// Public kernel API: shape validation, implementation dispatch, flop
+// accounting.
+//
+// Two implementations sit behind this layer (see docs/kernels.md):
+//   * reference — naive loops (kernels_ref.cpp), the conformance oracle;
+//   * tiled     — the blocked/packed kernels, compiled once per ISA
+//                 target (kernels_tiled_*.cpp).  The best table for the
+//                 running CPU is picked once, at first use.
 #include "dense/kernels.hpp"
 
-#include <cmath>
+#include <atomic>
+#include <cstdlib>
+#include <string>
 
 #include "common/error.hpp"
+#include "dense/kernels_ref.hpp"
+#include "dense/kernels_tiled.hpp"
 
 namespace sparts::dense {
+
+// ===========================================================================
+// Implementation dispatch.
+// ===========================================================================
+
+KernelImpl kernel_impl_from_env() {
+  const char* env = std::getenv("SPARTS_KERNELS");
+  if (env == nullptr || *env == '\0') return KernelImpl::tiled;
+  const std::string s(env);
+  if (s == "reference" || s == "ref" || s == "naive") {
+    return KernelImpl::reference;
+  }
+  if (s == "tiled" || s == "blocked") return KernelImpl::tiled;
+  throw InvalidArgument("SPARTS_KERNELS must be 'reference' or 'tiled' (got '" +
+                        s + "')");
+}
+
+namespace {
+
+std::atomic<KernelImpl>& impl_state() {
+  static std::atomic<KernelImpl> state{kernel_impl_from_env()};
+  return state;
+}
+
+/// The tiled kernel table for the running CPU: the AVX2+FMA build when
+/// the host supports it, the baseline-ISA build otherwise.
+const detail::TiledKernels& tiled() {
+  static const detail::TiledKernels& table = []() -> const auto& {
+#ifdef SPARTS_HAVE_AVX2_TU
+    if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) {
+      return detail::tiled_avx2_kernels();
+    }
+#endif
+    return detail::tiled_portable_kernels();
+  }();
+  return table;
+}
+
+}  // namespace
+
+KernelImpl kernel_impl() {
+  return impl_state().load(std::memory_order_relaxed);
+}
+
+void set_kernel_impl(KernelImpl impl) {
+  impl_state().store(impl, std::memory_order_relaxed);
+}
+
+const char* kernel_impl_name(KernelImpl impl) {
+  return impl == KernelImpl::reference ? "reference" : "tiled";
+}
+
+// ===========================================================================
+// Public API: validate shapes, dispatch to the active implementation,
+// return the documented flop counts (identical for both implementations).
+// ===========================================================================
 
 void gemm(real_t alpha, const Matrix& a, bool transpose_a, const Matrix& b,
           bool transpose_b, Matrix& c) {
@@ -14,30 +82,29 @@ void gemm(real_t alpha, const Matrix& a, bool transpose_a, const Matrix& b,
   const index_t n = transpose_b ? b.rows() : b.cols();
   SPARTS_CHECK(k == kb, "gemm inner dimensions mismatch");
   SPARTS_CHECK(c.rows() == m && c.cols() == n, "gemm output shape mismatch");
-  for (index_t j = 0; j < n; ++j) {
-    for (index_t l = 0; l < k; ++l) {
-      const real_t blj = transpose_b ? b(j, l) : b(l, j);
-      if (blj == 0.0) continue;
-      const real_t s = alpha * blj;
-      for (index_t i = 0; i < m; ++i) {
-        const real_t ail = transpose_a ? a(l, i) : a(i, l);
-        c(i, j) += s * ail;
-      }
-    }
+  if (m <= 0 || n <= 0 || k <= 0) return;
+  if (kernel_impl() == KernelImpl::reference) {
+    ref::gemm(alpha, a, transpose_a, b, transpose_b, c);
+    return;
   }
+  const real_t* ap = a.data().data();
+  const real_t* bp = b.data().data();
+  const index_t rs_a = transpose_a ? a.rows() : 1;
+  const index_t cs_a = transpose_a ? 1 : a.rows();
+  const index_t rs_b = transpose_b ? b.rows() : 1;
+  const index_t cs_b = transpose_b ? 1 : b.rows();
+  tiled().gemm_strided(m, n, k, alpha, ap, rs_a, cs_a, bp, rs_b, cs_b,
+                       c.data().data(), c.rows());
 }
 
 void gemv(real_t alpha, const Matrix& a, std::span<const real_t> x,
           std::span<real_t> y) {
   SPARTS_CHECK(static_cast<index_t>(x.size()) == a.cols());
   SPARTS_CHECK(static_cast<index_t>(y.size()) == a.rows());
-  for (index_t j = 0; j < a.cols(); ++j) {
-    const real_t s = alpha * x[static_cast<std::size_t>(j)];
-    if (s == 0.0) continue;
-    const real_t* col = a.col(j);
-    for (index_t i = 0; i < a.rows(); ++i) {
-      y[static_cast<std::size_t>(i)] += s * col[i];
-    }
+  if (kernel_impl() == KernelImpl::reference) {
+    ref::gemv(alpha, a, x, y);
+  } else {
+    tiled().gemv(alpha, a, x, y);
   }
 }
 
@@ -81,6 +148,7 @@ void trsm_upper_left(const Matrix& u, Matrix& b) {
 void syrk_lower(const Matrix& a, Matrix& c) {
   const index_t m = a.rows();
   SPARTS_CHECK(c.rows() == m && c.cols() == m, "syrk output must be m x m");
+  if (m <= 0 || a.cols() <= 0) return;
   panel_syrk(m, m, a.cols(), a.col(0), a.rows(), a.col(0), a.rows(), c.col(0),
              c.rows(), /*lower_only=*/true);
 }
@@ -88,115 +156,70 @@ void syrk_lower(const Matrix& a, Matrix& c) {
 void panel_gemm(index_t m, index_t n, index_t k, real_t alpha, const real_t* a,
                 index_t lda, const real_t* b, index_t ldb, real_t* c,
                 index_t ldc) {
-  for (index_t j = 0; j < n; ++j) {
-    real_t* cj = c + j * ldc;
-    for (index_t l = 0; l < k; ++l) {
-      const real_t s = alpha * b[l + j * ldb];
-      if (s == 0.0) continue;
-      const real_t* al = a + l * lda;
-      for (index_t i = 0; i < m; ++i) cj[i] += s * al[i];
-    }
+  if (kernel_impl() == KernelImpl::reference) {
+    ref::panel_gemm(m, n, k, alpha, a, lda, b, ldb, c, ldc);
+  } else {
+    tiled().panel_gemm(m, n, k, alpha, a, lda, b, ldb, c, ldc);
   }
 }
 
 void panel_gemm_at(index_t m, index_t n, index_t k, real_t alpha,
                    const real_t* a, index_t lda, const real_t* b, index_t ldb,
                    real_t* c, index_t ldc) {
-  // C(i,j) += alpha * sum_l A(l,i) * B(l,j); A stored k x m with ld lda.
-  for (index_t j = 0; j < n; ++j) {
-    const real_t* bj = b + j * ldb;
-    real_t* cj = c + j * ldc;
-    for (index_t i = 0; i < m; ++i) {
-      const real_t* ai = a + i * lda;
-      real_t s = 0.0;
-      for (index_t l = 0; l < k; ++l) s += ai[l] * bj[l];
-      cj[i] += alpha * s;
-    }
+  if (kernel_impl() == KernelImpl::reference) {
+    ref::panel_gemm_at(m, n, k, alpha, a, lda, b, ldb, c, ldc);
+  } else {
+    tiled().panel_gemm_at(m, n, k, alpha, a, lda, b, ldb, c, ldc);
   }
 }
 
 nnz_t panel_trsm_lower(index_t t, index_t n, const real_t* l, index_t ldl,
                        real_t* b, index_t ldb) {
-  for (index_t j = 0; j < n; ++j) {
-    real_t* x = b + j * ldb;
-    for (index_t i = 0; i < t; ++i) {
-      real_t s = x[i];
-      const real_t* li = l + i;  // row i, walk by columns
-      for (index_t k = 0; k < i; ++k) s -= li[k * ldl] * x[k];
-      x[i] = s / l[i + i * ldl];
-    }
+  if (kernel_impl() == KernelImpl::reference) {
+    ref::panel_trsm_lower(t, n, l, ldl, b, ldb);
+  } else {
+    tiled().panel_trsm_lower(t, n, l, ldl, b, ldb);
   }
-  return static_cast<nnz_t>(t) * t * n;  // ~t^2 flops per column
+  return trsm_panel_flops(t, n);
 }
 
 nnz_t panel_trsm_lower_transposed(index_t t, index_t n, const real_t* l,
                                   index_t ldl, real_t* b, index_t ldb) {
-  for (index_t j = 0; j < n; ++j) {
-    real_t* x = b + j * ldb;
-    for (index_t i = t - 1; i >= 0; --i) {
-      real_t s = x[i];
-      const real_t* li = l + i * ldl;  // column i of L = row i of L^T
-      for (index_t k = i + 1; k < t; ++k) s -= li[k] * x[k];
-      x[i] = s / li[i];
-    }
+  if (kernel_impl() == KernelImpl::reference) {
+    ref::panel_trsm_lower_transposed(t, n, l, ldl, b, ldb);
+  } else {
+    tiled().panel_trsm_lower_transposed(t, n, l, ldl, b, ldb);
   }
-  return static_cast<nnz_t>(t) * t * n;
+  return trsm_panel_flops(t, n);
 }
 
 nnz_t panel_trsm_right_lt(index_t m, index_t k, const real_t* l, index_t ldl,
                           real_t* x, index_t ldx) {
-  for (index_t c = 0; c < k; ++c) {
-    real_t* xc = x + c * ldx;
-    const real_t* lc = l + c;  // row c of L, walk by columns
-    for (index_t cp = 0; cp < c; ++cp) {
-      const real_t s = lc[cp * ldl];
-      if (s == 0.0) continue;
-      const real_t* xcp = x + cp * ldx;
-      for (index_t i = 0; i < m; ++i) xc[i] -= s * xcp[i];
-    }
-    const real_t d = lc[c * ldl];
-    const real_t inv = 1.0 / d;
-    for (index_t i = 0; i < m; ++i) xc[i] *= inv;
+  if (kernel_impl() == KernelImpl::reference) {
+    ref::panel_trsm_right_lt(m, k, l, ldl, x, ldx);
+  } else {
+    tiled().panel_trsm_right_lt(m, k, l, ldl, x, ldx);
   }
-  return static_cast<nnz_t>(m) * k * k;
+  return trsm_right_lt_flops(m, k);
 }
 
 nnz_t panel_cholesky(index_t m, index_t t, real_t* a, index_t lda) {
   SPARTS_CHECK(m >= t, "panel must have at least t rows");
-  for (index_t k = 0; k < t; ++k) {
-    real_t* ak = a + k * lda;
-    const real_t d = ak[k];
-    if (!(d > 0.0)) {
-      throw NumericalError("panel_cholesky: non-positive pivot at column " +
-                           std::to_string(k));
-    }
-    const real_t dk = std::sqrt(d);
-    ak[k] = dk;
-    const real_t inv = 1.0 / dk;
-    for (index_t i = k + 1; i < m; ++i) ak[i] *= inv;
-    for (index_t j = k + 1; j < t; ++j) {
-      const real_t s = ak[j];
-      if (s == 0.0) continue;
-      real_t* aj = a + j * lda;
-      for (index_t i = j; i < m; ++i) aj[i] -= s * ak[i];
-    }
+  if (kernel_impl() == KernelImpl::reference) {
+    ref::panel_cholesky(m, t, a, lda, /*col_offset=*/0);
+  } else {
+    tiled().panel_cholesky(m, t, a, lda);
   }
-  // flops: sum_k [ (m-k) divisions + (t-k)(m-k) fma*2 ] ~= m*t^2 - 2/3 t^3
-  return static_cast<nnz_t>(m) * t * t - 2 * static_cast<nnz_t>(t) * t * t / 3;
+  return cholesky_panel_flops(m, t);
 }
 
 void panel_syrk(index_t m, index_t n, index_t k, const real_t* a, index_t lda,
                 const real_t* a2, index_t lda2, real_t* c, index_t ldc,
                 bool lower_only) {
-  for (index_t j = 0; j < n; ++j) {
-    real_t* cj = c + j * ldc;
-    const index_t i0 = lower_only ? j : 0;
-    for (index_t l = 0; l < k; ++l) {
-      const real_t s = a2[j + l * lda2];
-      if (s == 0.0) continue;
-      const real_t* al = a + l * lda;
-      for (index_t i = i0; i < m; ++i) cj[i] -= s * al[i];
-    }
+  if (kernel_impl() == KernelImpl::reference) {
+    ref::panel_syrk(m, n, k, a, lda, a2, lda2, c, ldc, lower_only);
+  } else {
+    tiled().panel_syrk(m, n, k, a, lda, a2, lda2, c, ldc, lower_only);
   }
 }
 

@@ -8,6 +8,21 @@
 //     the multifrontal factorization where supernodes are sub-panels of a
 //     larger allocation.
 //
+// Every kernel exists in two implementations behind one API (see
+// docs/kernels.md):
+//   * reference — the naive loops, kept as the conformance oracle;
+//   * tiled     — cache-blocked, register-tiled, vectorizer-friendly
+//                 kernels built on a packing GEMM core (blocking.hpp,
+//                 microkernel.hpp), with small-n right-hand-side
+//                 specializations for the trisolve pipeline.
+// The active implementation is selected process-wide with
+// set_kernel_impl() (or the SPARTS_KERNELS environment variable); both
+// return byte-identical flop counts, so simulated machine traces do not
+// depend on which implementation ran.
+//
+// Output panels must not alias the input panels (the supernodal call
+// sites never do; the tiled kernels rely on it).
+//
 // All kernels also report the exact flop count they performed so the
 // simulator's cost model can charge for them.
 #pragma once
@@ -16,6 +31,72 @@
 #include "dense/matrix.hpp"
 
 namespace sparts::dense {
+
+// ---------------------------------------------------------------------------
+// Kernel implementation dispatch.
+// ---------------------------------------------------------------------------
+
+enum class KernelImpl {
+  reference,  ///< naive triple loops (conformance oracle)
+  tiled,      ///< cache-blocked + register-tiled (default)
+};
+
+/// Implementation requested by the SPARTS_KERNELS environment variable
+/// ("reference"/"ref" or "tiled"); `tiled` when unset.  Throws
+/// InvalidArgument on an unrecognized value.
+KernelImpl kernel_impl_from_env();
+
+/// Currently active implementation (initially kernel_impl_from_env()).
+KernelImpl kernel_impl();
+
+/// Select the implementation process-wide.  Thread-safe (atomic), but
+/// meant to be called between solves, not concurrently with them.
+void set_kernel_impl(KernelImpl impl);
+
+/// "reference" or "tiled".
+const char* kernel_impl_name(KernelImpl impl);
+
+// ---------------------------------------------------------------------------
+// Flop accounting.
+//
+// The panel kernels return these exact counts (independent of the active
+// implementation); the simulator charges its cost model from them, so
+// they are part of the reproducibility contract.
+// ---------------------------------------------------------------------------
+
+/// Flop count of a (m x k) * (k x n) multiply-accumulate.
+inline nnz_t gemm_flops(index_t m, index_t n, index_t k) {
+  return 2 * static_cast<nnz_t>(m) * n * k;
+}
+
+/// Flop count charged for a t x t triangular panel solve with n
+/// right-hand sides: t divisions plus t*(t-1) multiply-subtract flops
+/// per column, rounded up to t^2 per column => t^2 * n total.
+inline nnz_t trsm_panel_flops(index_t t, index_t n) {
+  return static_cast<nnz_t>(t) * t * n;
+}
+
+/// Flop count charged for X := X * L^{-T} with X m x k, L k x k lower
+/// triangular: k^2 flops per row of X => m * k^2.
+inline nnz_t trsm_right_lt_flops(index_t m, index_t k) {
+  return static_cast<nnz_t>(m) * k * k;
+}
+
+/// Flop count charged for the partial Cholesky of an m x t panel:
+/// m*t^2 - floor(2*t^3 / 3) (the t = m case is the classic n^3/3).
+/// Non-negative for every valid panel shape m >= t >= 0.
+inline nnz_t cholesky_panel_flops(index_t m, index_t t) {
+  return static_cast<nnz_t>(m) * t * t -
+         2 * static_cast<nnz_t>(t) * t * t / 3;
+}
+
+/// Flop count charged for C(mxn) -= A * A2^T with inner dimension k:
+/// half of the full 2*m*n*k multiply-add count when only the lower
+/// triangle is updated.
+inline nnz_t syrk_flops(index_t m, index_t n, index_t k, bool lower_only) {
+  const nnz_t full = 2 * static_cast<nnz_t>(m) * n * k;
+  return lower_only ? full / 2 : full;
+}
 
 // ---------------------------------------------------------------------------
 // Matrix-level wrappers.
@@ -44,11 +125,6 @@ void syrk_lower(const Matrix& a, Matrix& c);
 // Raw column-major panel kernels.  `ld*` are leading dimensions.
 // ---------------------------------------------------------------------------
 
-/// Flop count of a (m x k) * (k x n) multiply-accumulate.
-inline nnz_t gemm_flops(index_t m, index_t n, index_t k) {
-  return 2 * static_cast<nnz_t>(m) * n * k;
-}
-
 /// C(mxn) += alpha * A(mxk) * B(kxn).
 void panel_gemm(index_t m, index_t n, index_t k, real_t alpha, const real_t* a,
                 index_t lda, const real_t* b, index_t ldb, real_t* c,
@@ -60,30 +136,35 @@ void panel_gemm_at(index_t m, index_t n, index_t k, real_t alpha,
                    real_t* c, index_t ldc);
 
 /// In-place solve L(txt lower, column-major, lda) X = B (t x n, ldb).
-/// Returns flop count.
+/// Returns trsm_panel_flops(t, n).
 nnz_t panel_trsm_lower(index_t t, index_t n, const real_t* l, index_t ldl,
                        real_t* b, index_t ldb);
 
 /// In-place solve L^T(txt) X = B (t x n, ldb) where L is lower triangular.
-/// Returns flop count.  Used by backward substitution with L^T = U.
+/// Returns trsm_panel_flops(t, n).  Used by backward substitution with
+/// L^T = U.
 nnz_t panel_trsm_lower_transposed(index_t t, index_t n, const real_t* l,
                                   index_t ldl, real_t* b, index_t ldb);
 
 /// In-place X := X * L^{-T} where X is (m x k, ldx) and L is k x k lower
 /// triangular (ldl).  This is the row-panel solve of blocked right-looking
-/// Cholesky: L21 = A21 * L11^{-T}.  Returns flop count.
+/// Cholesky: L21 = A21 * L11^{-T}.  Returns trsm_right_lt_flops(m, k).
 nnz_t panel_trsm_right_lt(index_t m, index_t k, const real_t* l, index_t ldl,
                           real_t* x, index_t ldx);
 
 /// Dense Cholesky of the leading t x t lower triangle of a column-major
 /// panel (in place), then apply to the remaining (m - t) rows:
-///   A21 <- A21 * L11^{-T}.  Panel is m x t.  Returns flop count.
-/// Throws NumericalError on a non-positive pivot.
+///   A21 <- A21 * L11^{-T}.  Panel is m x t.  Entries strictly above the
+/// diagonal of the t x t triangle are never read or written.  Returns
+/// cholesky_panel_flops(m, t).  Throws NumericalError on a non-positive
+/// pivot.
 nnz_t panel_cholesky(index_t m, index_t t, real_t* a, index_t lda);
 
-/// C(mxn, lower triangle when square) -= A(mxk) * A(nxk)^T.
-/// Used for the Schur complement update of a frontal matrix; only entries
-/// with row >= col are updated when `lower_only`.
+/// C(mxn) -= A(mxk) * A2(nxk)^T, where A2 is stored n x k with leading
+/// dimension lda2 (i.e. B(l,j) = a2[j + l*lda2]).  Used for the Schur
+/// complement update of a frontal matrix; only entries with row >= col
+/// are updated when `lower_only` (entries above the diagonal are never
+/// touched).
 void panel_syrk(index_t m, index_t n, index_t k, const real_t* a, index_t lda,
                 const real_t* a2, index_t lda2, real_t* c, index_t ldc,
                 bool lower_only);

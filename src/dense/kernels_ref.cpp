@@ -1,0 +1,146 @@
+// Reference kernels: the naive loops, kept as the conformance oracle.
+// Dense data has no zeros worth skipping, so there are no per-element
+// zero checks (they would defeat vectorization and silently drop NaN/Inf
+// propagation); sparsity exploitation belongs above the panel level.
+#include "dense/kernels_ref.hpp"
+
+#include <cmath>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace sparts::dense::ref {
+
+void panel_gemm(index_t m, index_t n, index_t k, real_t alpha, const real_t* a,
+                index_t lda, const real_t* b, index_t ldb, real_t* c,
+                index_t ldc) {
+  for (index_t j = 0; j < n; ++j) {
+    real_t* cj = c + j * ldc;
+    for (index_t l = 0; l < k; ++l) {
+      const real_t s = alpha * b[l + j * ldb];
+      const real_t* al = a + l * lda;
+      for (index_t i = 0; i < m; ++i) cj[i] += s * al[i];
+    }
+  }
+}
+
+void panel_gemm_at(index_t m, index_t n, index_t k, real_t alpha,
+                   const real_t* a, index_t lda, const real_t* b, index_t ldb,
+                   real_t* c, index_t ldc) {
+  // C(i,j) += alpha * sum_l A(l,i) * B(l,j); A stored k x m with ld lda.
+  for (index_t j = 0; j < n; ++j) {
+    const real_t* bj = b + j * ldb;
+    real_t* cj = c + j * ldc;
+    for (index_t i = 0; i < m; ++i) {
+      const real_t* ai = a + i * lda;
+      real_t s = 0.0;
+      for (index_t l = 0; l < k; ++l) s += ai[l] * bj[l];
+      cj[i] += alpha * s;
+    }
+  }
+}
+
+void panel_trsm_lower(index_t t, index_t n, const real_t* l, index_t ldl,
+                      real_t* b, index_t ldb) {
+  for (index_t j = 0; j < n; ++j) {
+    real_t* x = b + j * ldb;
+    for (index_t i = 0; i < t; ++i) {
+      real_t s = x[i];
+      const real_t* li = l + i;  // row i, walk by columns
+      for (index_t k = 0; k < i; ++k) s -= li[k * ldl] * x[k];
+      x[i] = s / l[i + i * ldl];
+    }
+  }
+}
+
+void panel_trsm_lower_transposed(index_t t, index_t n, const real_t* l,
+                                 index_t ldl, real_t* b, index_t ldb) {
+  for (index_t j = 0; j < n; ++j) {
+    real_t* x = b + j * ldb;
+    for (index_t i = t - 1; i >= 0; --i) {
+      real_t s = x[i];
+      const real_t* li = l + i * ldl;  // column i of L = row i of L^T
+      for (index_t k = i + 1; k < t; ++k) s -= li[k] * x[k];
+      x[i] = s / li[i];
+    }
+  }
+}
+
+void panel_trsm_right_lt(index_t m, index_t k, const real_t* l, index_t ldl,
+                         real_t* x, index_t ldx) {
+  for (index_t c = 0; c < k; ++c) {
+    real_t* xc = x + c * ldx;
+    const real_t* lc = l + c;  // row c of L, walk by columns
+    for (index_t cp = 0; cp < c; ++cp) {
+      const real_t s = lc[cp * ldl];
+      const real_t* xcp = x + cp * ldx;
+      for (index_t i = 0; i < m; ++i) xc[i] -= s * xcp[i];
+    }
+    const real_t inv = 1.0 / lc[c * ldl];
+    for (index_t i = 0; i < m; ++i) xc[i] *= inv;
+  }
+}
+
+void panel_cholesky(index_t m, index_t t, real_t* a, index_t lda,
+                    index_t col_offset) {
+  for (index_t k = 0; k < t; ++k) {
+    real_t* ak = a + k * lda;
+    const real_t d = ak[k];
+    if (!(d > 0.0)) {
+      throw NumericalError("panel_cholesky: non-positive pivot at column " +
+                           std::to_string(col_offset + k));
+    }
+    const real_t dk = std::sqrt(d);
+    ak[k] = dk;
+    const real_t inv = 1.0 / dk;
+    for (index_t i = k + 1; i < m; ++i) ak[i] *= inv;
+    for (index_t j = k + 1; j < t; ++j) {
+      const real_t s = ak[j];
+      real_t* aj = a + j * lda;
+      for (index_t i = j; i < m; ++i) aj[i] -= s * ak[i];
+    }
+  }
+}
+
+void panel_syrk(index_t m, index_t n, index_t k, const real_t* a, index_t lda,
+                const real_t* a2, index_t lda2, real_t* c, index_t ldc,
+                bool lower_only) {
+  for (index_t j = 0; j < n; ++j) {
+    real_t* cj = c + j * ldc;
+    const index_t i0 = lower_only ? j : 0;
+    for (index_t l = 0; l < k; ++l) {
+      const real_t s = a2[j + l * lda2];
+      const real_t* al = a + l * lda;
+      for (index_t i = i0; i < m; ++i) cj[i] -= s * al[i];
+    }
+  }
+}
+
+void gemm(real_t alpha, const Matrix& a, bool transpose_a, const Matrix& b,
+          bool transpose_b, Matrix& c) {
+  const index_t m = c.rows();
+  const index_t n = c.cols();
+  const index_t k = transpose_a ? a.rows() : a.cols();
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t l = 0; l < k; ++l) {
+      const real_t s = alpha * (transpose_b ? b(j, l) : b(l, j));
+      for (index_t i = 0; i < m; ++i) {
+        const real_t ail = transpose_a ? a(l, i) : a(i, l);
+        c(i, j) += s * ail;
+      }
+    }
+  }
+}
+
+void gemv(real_t alpha, const Matrix& a, std::span<const real_t> x,
+          std::span<real_t> y) {
+  for (index_t j = 0; j < a.cols(); ++j) {
+    const real_t s = alpha * x[static_cast<std::size_t>(j)];
+    const real_t* col = a.col(j);
+    for (index_t i = 0; i < a.rows(); ++i) {
+      y[static_cast<std::size_t>(i)] += s * col[i];
+    }
+  }
+}
+
+}  // namespace sparts::dense::ref

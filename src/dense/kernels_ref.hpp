@@ -1,0 +1,51 @@
+// Internal header: the reference (naive-loop) kernel implementations.
+//
+// These are the conformance oracle for the tiled kernels and also serve
+// as the in-tile solvers of the blocked TRSM / Cholesky algorithms (the
+// diagonal tiles are small, so the naive loops are fine there).  They are
+// deliberately compiled once, in kernels_ref.cpp, with the project's
+// baseline flags — unlike the tiled kernels, which are compiled per ISA.
+//
+// Not part of the public API; include dense/kernels.hpp instead.
+#pragma once
+
+#include <span>
+
+#include "common/types.hpp"
+#include "dense/matrix.hpp"
+
+namespace sparts::dense::ref {
+
+void panel_gemm(index_t m, index_t n, index_t k, real_t alpha, const real_t* a,
+                index_t lda, const real_t* b, index_t ldb, real_t* c,
+                index_t ldc);
+
+void panel_gemm_at(index_t m, index_t n, index_t k, real_t alpha,
+                   const real_t* a, index_t lda, const real_t* b, index_t ldb,
+                   real_t* c, index_t ldc);
+
+void panel_trsm_lower(index_t t, index_t n, const real_t* l, index_t ldl,
+                      real_t* b, index_t ldb);
+
+void panel_trsm_lower_transposed(index_t t, index_t n, const real_t* l,
+                                 index_t ldl, real_t* b, index_t ldb);
+
+void panel_trsm_right_lt(index_t m, index_t k, const real_t* l, index_t ldl,
+                         real_t* x, index_t ldx);
+
+/// `col_offset` only shifts the column index reported on a failed pivot,
+/// so the blocked algorithm reports the panel-global column.
+void panel_cholesky(index_t m, index_t t, real_t* a, index_t lda,
+                    index_t col_offset);
+
+void panel_syrk(index_t m, index_t n, index_t k, const real_t* a, index_t lda,
+                const real_t* a2, index_t lda2, real_t* c, index_t ldc,
+                bool lower_only);
+
+void gemm(real_t alpha, const Matrix& a, bool transpose_a, const Matrix& b,
+          bool transpose_b, Matrix& c);
+
+void gemv(real_t alpha, const Matrix& a, std::span<const real_t> x,
+          std::span<real_t> y);
+
+}  // namespace sparts::dense::ref

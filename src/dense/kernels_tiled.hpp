@@ -1,0 +1,59 @@
+// Internal header: the function table exported by each ISA-specialized
+// build of the tiled kernels.
+//
+// The tiled implementation (kernels_tiled.inc) is compiled once per
+// instruction-set target: kernels_tiled_portable.cpp with the project's
+// baseline flags, and — on x86-64 — kernels_tiled_avx2.cpp with
+// -mavx2 -mfma (guarded by SPARTS_HAVE_AVX2_TU).  Each translation unit
+// keeps every kernel in an anonymous namespace (so no AVX2 code can leak
+// into another TU through COMDAT merging) and exposes exactly one entry
+// point returning this table.  kernels.cpp picks the best table once at
+// startup via __builtin_cpu_supports.
+//
+// Not part of the public API; include dense/kernels.hpp instead.
+#pragma once
+
+#include <span>
+
+#include "common/types.hpp"
+#include "dense/matrix.hpp"
+
+namespace sparts::dense::detail {
+
+struct TiledKernels {
+  void (*panel_gemm)(index_t m, index_t n, index_t k, real_t alpha,
+                     const real_t* a, index_t lda, const real_t* b, index_t ldb,
+                     real_t* c, index_t ldc);
+  void (*panel_gemm_at)(index_t m, index_t n, index_t k, real_t alpha,
+                        const real_t* a, index_t lda, const real_t* b,
+                        index_t ldb, real_t* c, index_t ldc);
+  void (*panel_trsm_lower)(index_t t, index_t n, const real_t* l, index_t ldl,
+                           real_t* b, index_t ldb);
+  void (*panel_trsm_lower_transposed)(index_t t, index_t n, const real_t* l,
+                                      index_t ldl, real_t* b, index_t ldb);
+  void (*panel_trsm_right_lt)(index_t m, index_t k, const real_t* l,
+                              index_t ldl, real_t* x, index_t ldx);
+  void (*panel_cholesky)(index_t m, index_t t, real_t* a, index_t lda);
+  void (*panel_syrk)(index_t m, index_t n, index_t k, const real_t* a,
+                     index_t lda, const real_t* a2, index_t lda2, real_t* c,
+                     index_t ldc, bool lower_only);
+  /// The general strided GEMM core, exposed for the Matrix-level gemm
+  /// wrapper (which maps transpose flags onto element strides).
+  void (*gemm_strided)(index_t m, index_t n, index_t k, real_t alpha,
+                       const real_t* a, index_t rs_a, index_t cs_a,
+                       const real_t* b, index_t rs_b, index_t cs_b, real_t* c,
+                       index_t ldc);
+  void (*gemv)(real_t alpha, const Matrix& a, std::span<const real_t> x,
+               std::span<real_t> y);
+};
+
+/// Tiled kernels compiled with the baseline (portable) flags.
+const TiledKernels& tiled_portable_kernels();
+
+#ifdef SPARTS_HAVE_AVX2_TU
+/// Tiled kernels compiled with -mavx2 -mfma.  Only callable after a
+/// runtime __builtin_cpu_supports("avx2") / ("fma") check.
+const TiledKernels& tiled_avx2_kernels();
+#endif
+
+}  // namespace sparts::dense::detail

@@ -1,0 +1,6 @@
+// Tiled kernels compiled with -mavx2 -mfma (see src/dense/CMakeLists.txt).
+// Only added to the build on x86-64, and only entered at runtime after a
+// __builtin_cpu_supports check in kernels.cpp, so the baseline binary
+// stays runnable on pre-AVX2 hardware.
+#define SPARTS_TILED_ENTRY tiled_avx2_kernels
+#include "dense/kernels_tiled.inc"

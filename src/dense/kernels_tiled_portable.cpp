@@ -1,0 +1,4 @@
+// Tiled kernels compiled with the project's baseline flags (the fallback
+// on hosts without the ISA extensions of the specialized TUs).
+#define SPARTS_TILED_ENTRY tiled_portable_kernels
+#include "dense/kernels_tiled.inc"

@@ -1,0 +1,42 @@
+// Register-tiled MR x NR microkernel of the tiled GEMM core.
+//
+// Operates on packed micro-panels produced by pack_a / pack_b
+// (blocking.hpp): `ap` walks MR A-values per k step, `bp` walks NR
+// B-values per k step, both with unit stride.  The accumulators live in a
+// fixed-size local tile that the compiler keeps in vector registers; the
+// update is AXPY-shaped (each accumulator lane is an independent
+// dependence chain), so it vectorizes under -O3 without
+// -ffast-math-style reassociation.
+//
+// static linkage for the same reason as blocking.hpp: each per-ISA
+// translation unit must get its own copy compiled with its own flags.
+#pragma once
+
+#include "common/types.hpp"
+#include "dense/blocking.hpp"
+
+#if defined(__GNUC__) || defined(__clang__)
+#define SPARTS_RESTRICT __restrict__
+#else
+#define SPARTS_RESTRICT
+#endif
+
+namespace sparts::dense::detail {
+
+/// acc (MR x NR, column-major) = sum over kc of a_panel(:, l) *
+/// b_panel(l, :).  Alpha is pre-folded into the packed B panel.
+static inline void micro_kernel(index_t kc, const real_t* SPARTS_RESTRICT ap,
+                         const real_t* SPARTS_RESTRICT bp,
+                         real_t* SPARTS_RESTRICT acc) {
+  real_t c[kMR * kNR] = {};
+  for (index_t l = 0; l < kc; ++l, ap += kMR, bp += kNR) {
+    for (index_t j = 0; j < kNR; ++j) {
+      const real_t bv = bp[j];
+      real_t* SPARTS_RESTRICT cj = c + j * kMR;
+      for (index_t i = 0; i < kMR; ++i) cj[i] += ap[i] * bv;
+    }
+  }
+  for (index_t q = 0; q < kMR * kNR; ++q) acc[q] = c[q];
+}
+
+}  // namespace sparts::dense::detail

@@ -96,7 +96,7 @@ SupernodalFactor multifrontal_cholesky(const sparse::SymmetricCsc& a,
                         front.data() + static_cast<std::size_t>(t) * ns + t,
                         ns,
                         /*lower_only=*/true);
-      local_stats.flops += static_cast<nnz_t>(b) * b * t;  // lower half only
+      local_stats.flops += dense::syrk_flops(b, b, t, /*lower_only=*/true);
     }
 
     // Copy the factored pivot columns into the supernodal factor.

@@ -248,7 +248,8 @@ Report parallel_multifrontal(exec::Comm& machine,
                             front.data.data() +
                                 static_cast<std::size_t>(t) * ns + t,
                             ns, /*lower_only=*/true);
-          proc.compute(static_cast<double>(below) * below * t,
+          proc.compute(static_cast<double>(dense::syrk_flops(
+                           below, below, t, /*lower_only=*/true)),
                        exec::FlopKind::blas3);
         }
       } else {
@@ -390,10 +391,8 @@ Report parallel_multifrontal(exec::Comm& machine,
                                 colpiece.data() + lj, front.lc,
                                 &front.at(li_local, lj), front.lr,
                                 /*lower_only=*/diagonal_block);
-              proc.compute(2.0 * static_cast<double>(leni) *
-                               static_cast<double>(lenj) *
-                               static_cast<double>(bp) *
-                               (diagonal_block ? 0.5 : 1.0),
+              proc.compute(static_cast<double>(dense::syrk_flops(
+                               leni, lenj, bp, diagonal_block)),
                            exec::FlopKind::blas3);
             }
           }

@@ -81,6 +81,7 @@ std::unique_ptr<exec::Comm> make_backend(ExecutionBackend backend,
 SparseSolver SparseSolver::factorize(const sparse::SymmetricCsc& a,
                                      const Options& options) {
   SparseSolver s;
+  dense::set_kernel_impl(options.kernels);
   s.perm_ = compute_ordering(a, options.ordering);
   s.a_perm_ = sparse::permute_symmetric(a, s.perm_);
   const symbolic::SupernodePartition part =
@@ -163,6 +164,7 @@ ParallelSolveResult parallel_solve(const sparse::SymmetricCsc& a,
   const index_t n = a.n();
   SPARTS_CHECK(static_cast<index_t>(b.size()) == n * m);
 
+  dense::set_kernel_impl(options.kernels);
   const sparse::Permutation perm = compute_ordering(a, options.ordering);
   const sparse::SymmetricCsc a_perm = sparse::permute_symmetric(a, perm);
   const symbolic::SupernodePartition part =

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/types.hpp"
+#include "dense/kernels.hpp"
 #include "numeric/supernodal_factor.hpp"
 #include "simpar/machine.hpp"
 #include "sparse/formats.hpp"
@@ -41,6 +42,11 @@ struct Options {
   /// are predicted T3D seconds; with `threads` they are measured wall-clock
   /// seconds on this host.
   ExecutionBackend backend = ExecutionBackend::simulated;
+  /// Dense kernel implementation used by every phase (reference loops or
+  /// the tiled/vectorized kernels).  Defaults to the SPARTS_KERNELS
+  /// environment variable, `tiled` when unset.  Flop counts — and hence
+  /// simulated times — are identical for both.
+  dense::KernelImpl kernels = dense::kernel_impl_from_env();
 };
 
 struct AnalysisInfo {

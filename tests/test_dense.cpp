@@ -215,5 +215,63 @@ TEST(Flops, CountsArePositiveAndScale) {
   EXPECT_EQ(trisolve_flops(10, 3), 300);
 }
 
+TEST(Flops, PanelKernelsReturnDocumentedFormulas) {
+  // The returned counts are part of the reproducibility contract: the
+  // simulator charges its cost model from them, so they must match the
+  // documented formulas exactly, for either kernel implementation.
+  Rng rng(11);
+  const index_t t = 6, n = 3, m = 9;
+  Matrix a = random_spd_dense(t, rng);
+  Matrix l = cholesky(a);
+  Matrix b = random_matrix(t, n, rng);
+  EXPECT_EQ(panel_trsm_lower(t, n, l.col(0), t, b.col(0), t),
+            trsm_panel_flops(t, n));
+  EXPECT_EQ(trsm_panel_flops(t, n), static_cast<nnz_t>(t) * t * n);
+  EXPECT_EQ(panel_trsm_lower_transposed(t, n, l.col(0), t, b.col(0), t),
+            trsm_panel_flops(t, n));
+  Matrix x = random_matrix(m, t, rng);
+  EXPECT_EQ(panel_trsm_right_lt(m, t, l.col(0), t, x.col(0), m),
+            trsm_right_lt_flops(m, t));
+  EXPECT_EQ(trsm_right_lt_flops(m, t), static_cast<nnz_t>(m) * t * t);
+  Matrix spd = random_spd_dense(m, rng);
+  EXPECT_EQ(panel_cholesky(m, t, spd.col(0), m), cholesky_panel_flops(m, t));
+  EXPECT_EQ(cholesky_panel_flops(m, t),
+            static_cast<nnz_t>(m) * t * t - 2 * static_cast<nnz_t>(t) * t * t / 3);
+  EXPECT_EQ(syrk_flops(4, 3, 5, /*lower_only=*/false), 120);
+  EXPECT_EQ(syrk_flops(4, 3, 5, /*lower_only=*/true), 60);
+}
+
+TEST(Flops, PanelFormulasNonNegativeOnTinyShapes) {
+  // cholesky_panel_flops uses integer division, so check it stays
+  // non-negative (and sane) across every tiny m >= t shape.
+  for (index_t m = 0; m <= 12; ++m) {
+    for (index_t t = 0; t <= m; ++t) {
+      EXPECT_GE(cholesky_panel_flops(m, t), 0) << "m=" << m << " t=" << t;
+      EXPECT_GE(trsm_panel_flops(t, 0), 0);
+    }
+  }
+  EXPECT_EQ(cholesky_panel_flops(1, 1), 1);
+  EXPECT_EQ(cholesky_panel_flops(0, 0), 0);
+  EXPECT_EQ(trsm_panel_flops(0, 5), 0);
+  EXPECT_EQ(trsm_right_lt_flops(0, 4), 0);
+}
+
+TEST(Flops, IdenticalAcrossKernelImplementations) {
+  Rng rng(12);
+  const index_t t = 70, n = 5;  // spans two tiles of the blocked trsm
+  Matrix a = random_spd_dense(t, rng);
+  Matrix l = cholesky(a);
+  nnz_t counts[2];
+  for (KernelImpl impl : {KernelImpl::reference, KernelImpl::tiled}) {
+    const KernelImpl saved = kernel_impl();
+    set_kernel_impl(impl);
+    Matrix b = random_matrix(t, n, rng);
+    counts[impl == KernelImpl::tiled] =
+        panel_trsm_lower(t, n, l.col(0), t, b.col(0), t);
+    set_kernel_impl(saved);
+  }
+  EXPECT_EQ(counts[0], counts[1]);
+}
+
 }  // namespace
 }  // namespace sparts::dense

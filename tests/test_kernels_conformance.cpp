@@ -1,0 +1,468 @@
+// Kernel conformance suite: the tiled kernels must agree with the
+// reference (naive-loop) kernels on randomized shapes — including ragged
+// sizes that are not multiples of the register/cache tiles, zero-sized
+// edges, and lda > m strided sub-panels — up to floating-point
+// reassociation (tolerance-based comparison).  Sentinel padding around
+// every output panel catches out-of-bounds writes, and regions the
+// kernel contract says are never touched (strict upper triangles) are
+// compared exactly.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "dense/kernels.hpp"
+#include "dense/matrix.hpp"
+
+namespace sparts::dense {
+namespace {
+
+constexpr real_t kSentinel = 777.25;
+
+/// Restores the process-wide kernel implementation on scope exit.
+class ImplGuard {
+ public:
+  ImplGuard() : saved_(kernel_impl()) {}
+  ~ImplGuard() { set_kernel_impl(saved_); }
+
+ private:
+  KernelImpl saved_;
+};
+
+/// A column-major panel embedded in a sentinel-filled buffer with leading
+/// dimension ld >= rows, so strided access and out-of-bounds writes are
+/// both exercised.
+struct Panel {
+  index_t rows = 0;
+  index_t cols = 0;
+  index_t ld = 0;
+  std::vector<real_t> buf;
+
+  Panel(index_t rows_in, index_t cols_in, index_t pad)
+      : rows(rows_in), cols(cols_in), ld(rows_in + pad),
+        buf(static_cast<std::size_t>(ld * cols_in + pad), kSentinel) {}
+
+  real_t* data() { return buf.data(); }
+  const real_t* data() const { return buf.data(); }
+  real_t& at(index_t i, index_t j) {
+    return buf[static_cast<std::size_t>(i + j * ld)];
+  }
+  real_t at(index_t i, index_t j) const {
+    return buf[static_cast<std::size_t>(i + j * ld)];
+  }
+
+  void fill_random(Rng& rng) {
+    for (index_t j = 0; j < cols; ++j) {
+      for (index_t i = 0; i < rows; ++i) at(i, j) = rng.uniform(-1.0, 1.0);
+    }
+  }
+
+  /// Every entry outside the rows x cols panel must still hold the
+  /// sentinel (no kernel may write into the padding).
+  void expect_padding_intact(const char* what) const {
+    for (index_t j = 0; j < cols; ++j) {
+      for (index_t i = rows; i < ld; ++i) {
+        ASSERT_EQ(at(i, j), kSentinel) << what << ": padding clobbered at ("
+                                       << i << ", " << j << ")";
+      }
+    }
+    for (std::size_t q = static_cast<std::size_t>(ld * cols); q < buf.size();
+         ++q) {
+      ASSERT_EQ(buf[q], kSentinel) << what << ": tail padding clobbered";
+    }
+  }
+};
+
+/// abs tolerance for comparing two summation orders of ~k products of
+/// O(1) values.
+real_t tol(index_t k) {
+  return 1e-12 * static_cast<real_t>(std::max<index_t>(k, 1) + 16);
+}
+
+void expect_panels_close(const Panel& a, const Panel& b, index_t k,
+                         const char* what) {
+  ASSERT_EQ(a.rows, b.rows);
+  ASSERT_EQ(a.cols, b.cols);
+  for (index_t j = 0; j < a.cols; ++j) {
+    for (index_t i = 0; i < a.rows; ++i) {
+      ASSERT_NEAR(a.at(i, j), b.at(i, j), tol(k))
+          << what << " mismatch at (" << i << ", " << j << ")";
+    }
+  }
+}
+
+/// Well-conditioned dense lower-triangular t x t factor: unit-scale
+/// diagonal, small off-diagonal entries.  Entries above the diagonal are
+/// filled with random values to verify the kernels never read them as
+/// part of the triangle (they are part of the panel for padding checks).
+void fill_lower_factor(Panel& l, Rng& rng) {
+  const index_t t = l.cols;
+  for (index_t j = 0; j < t; ++j) {
+    for (index_t i = 0; i < l.rows; ++i) {
+      if (i == j) {
+        l.at(i, j) = 2.0 + rng.uniform(0.0, 1.0);
+      } else if (i > j) {
+        l.at(i, j) = rng.uniform(-1.0, 1.0) / static_cast<real_t>(t + 1);
+      } else {
+        l.at(i, j) = rng.uniform(-1.0, 1.0);
+      }
+    }
+  }
+}
+
+struct GemmShape {
+  index_t m, n, k;
+};
+
+// Ragged shapes straddling the microkernel (8x4) and cache-block
+// boundaries, plus degenerate edges.
+const GemmShape kGemmShapes[] = {
+    {1, 1, 1},    {3, 2, 5},     {8, 4, 8},    {7, 5, 6},    {9, 31, 17},
+    {16, 8, 16},  {33, 7, 129},  {64, 64, 64}, {65, 63, 130}, {100, 1, 57},
+    {128, 2, 77}, {40, 3, 256},  {57, 4, 123}, {130, 129, 1}, {5, 260, 9},
+    {257, 6, 40}, {12, 30, 300}, {0, 4, 5},    {6, 0, 5},    {6, 4, 0},
+};
+
+TEST(KernelConformance, PanelGemm) {
+  Rng rng(101);
+  for (const auto& s : kGemmShapes) {
+    for (index_t pad : {index_t{0}, index_t{3}}) {
+      Panel a(s.m, s.k, pad);
+      Panel b(s.k, s.n, pad);
+      a.fill_random(rng);
+      b.fill_random(rng);
+      Panel c_ref(s.m, s.n, pad);
+      Panel c_tiled(s.m, s.n, pad);
+      c_ref.fill_random(rng);
+      for (index_t j = 0; j < s.n; ++j) {
+        for (index_t i = 0; i < s.m; ++i) c_tiled.at(i, j) = c_ref.at(i, j);
+      }
+      ImplGuard guard;
+      set_kernel_impl(KernelImpl::reference);
+      panel_gemm(s.m, s.n, s.k, -0.5, a.data(), a.ld, b.data(), b.ld,
+                 c_ref.data(), c_ref.ld);
+      set_kernel_impl(KernelImpl::tiled);
+      panel_gemm(s.m, s.n, s.k, -0.5, a.data(), a.ld, b.data(), b.ld,
+                 c_tiled.data(), c_tiled.ld);
+      expect_panels_close(c_ref, c_tiled, s.k, "panel_gemm");
+      c_tiled.expect_padding_intact("panel_gemm");
+    }
+  }
+}
+
+TEST(KernelConformance, PanelGemmAt) {
+  Rng rng(102);
+  for (const auto& s : kGemmShapes) {
+    for (index_t pad : {index_t{0}, index_t{2}}) {
+      Panel a(s.k, s.m, pad);  // stored k x m, used as A^T
+      Panel b(s.k, s.n, pad);
+      a.fill_random(rng);
+      b.fill_random(rng);
+      Panel c_ref(s.m, s.n, pad);
+      Panel c_tiled(s.m, s.n, pad);
+      c_ref.fill_random(rng);
+      for (index_t j = 0; j < s.n; ++j) {
+        for (index_t i = 0; i < s.m; ++i) c_tiled.at(i, j) = c_ref.at(i, j);
+      }
+      ImplGuard guard;
+      set_kernel_impl(KernelImpl::reference);
+      panel_gemm_at(s.m, s.n, s.k, 1.25, a.data(), a.ld, b.data(), b.ld,
+                    c_ref.data(), c_ref.ld);
+      set_kernel_impl(KernelImpl::tiled);
+      panel_gemm_at(s.m, s.n, s.k, 1.25, a.data(), a.ld, b.data(), b.ld,
+                    c_tiled.data(), c_tiled.ld);
+      expect_panels_close(c_ref, c_tiled, s.k, "panel_gemm_at");
+      c_tiled.expect_padding_intact("panel_gemm_at");
+    }
+  }
+}
+
+TEST(KernelConformance, PanelSyrk) {
+  Rng rng(103);
+  const GemmShape shapes[] = {
+      {5, 5, 3},   {8, 8, 8},    {17, 17, 30}, {70, 70, 65}, {130, 126, 40},
+      {65, 70, 9}, {129, 65, 8}, {3, 90, 11},  {0, 5, 3},    {5, 5, 0},
+  };
+  for (const auto& s : shapes) {
+    for (bool lower_only : {false, true}) {
+      for (index_t pad : {index_t{0}, index_t{5}}) {
+        Panel a(s.m, s.k, pad);
+        Panel a2(s.n, s.k, pad);
+        a.fill_random(rng);
+        a2.fill_random(rng);
+        Panel c_ref(s.m, s.n, pad);
+        Panel c_tiled(s.m, s.n, pad);
+        c_ref.fill_random(rng);
+        for (index_t j = 0; j < s.n; ++j) {
+          for (index_t i = 0; i < s.m; ++i) c_tiled.at(i, j) = c_ref.at(i, j);
+        }
+        Panel c_before = c_ref;
+        ImplGuard guard;
+        set_kernel_impl(KernelImpl::reference);
+        panel_syrk(s.m, s.n, s.k, a.data(), a.ld, a2.data(), a2.ld,
+                   c_ref.data(), c_ref.ld, lower_only);
+        set_kernel_impl(KernelImpl::tiled);
+        panel_syrk(s.m, s.n, s.k, a.data(), a.ld, a2.data(), a2.ld,
+                   c_tiled.data(), c_tiled.ld, lower_only);
+        expect_panels_close(c_ref, c_tiled, s.k, "panel_syrk");
+        c_tiled.expect_padding_intact("panel_syrk");
+        if (lower_only) {
+          // Entries strictly above the diagonal must be bit-untouched.
+          for (index_t j = 0; j < s.n; ++j) {
+            for (index_t i = 0; i < std::min(j, s.m); ++i) {
+              ASSERT_EQ(c_tiled.at(i, j), c_before.at(i, j))
+                  << "panel_syrk(lower_only) touched (" << i << ", " << j
+                  << ")";
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(KernelConformance, PanelTrsmLowerBothDirections) {
+  Rng rng(104);
+  const index_t ts[] = {1, 2, 5, 8, 63, 64, 65, 130, 200};
+  const index_t ns[] = {1, 2, 3, 4, 7, 30};
+  for (index_t t : ts) {
+    for (index_t n : ns) {
+      for (index_t pad : {index_t{0}, index_t{4}}) {
+        Panel l(t, t, pad);
+        fill_lower_factor(l, rng);
+        Panel b_ref(t, n, pad);
+        b_ref.fill_random(rng);
+        Panel b_tiled = b_ref;
+        ImplGuard guard;
+        for (bool transposed : {false, true}) {
+          set_kernel_impl(KernelImpl::reference);
+          const nnz_t f_ref =
+              transposed ? panel_trsm_lower_transposed(t, n, l.data(), l.ld,
+                                                       b_ref.data(), b_ref.ld)
+                         : panel_trsm_lower(t, n, l.data(), l.ld, b_ref.data(),
+                                            b_ref.ld);
+          set_kernel_impl(KernelImpl::tiled);
+          const nnz_t f_tiled =
+              transposed
+                  ? panel_trsm_lower_transposed(t, n, l.data(), l.ld,
+                                                b_tiled.data(), b_tiled.ld)
+                  : panel_trsm_lower(t, n, l.data(), l.ld, b_tiled.data(),
+                                     b_tiled.ld);
+          EXPECT_EQ(f_ref, f_tiled);
+          EXPECT_EQ(f_ref, trsm_panel_flops(t, n));
+          expect_panels_close(b_ref, b_tiled, t, "panel_trsm_lower");
+          b_tiled.expect_padding_intact("panel_trsm_lower");
+        }
+      }
+    }
+  }
+}
+
+TEST(KernelConformance, PanelTrsmRightLt) {
+  Rng rng(105);
+  const index_t ms[] = {1, 7, 33, 64, 150};
+  const index_t ks[] = {1, 4, 8, 63, 64, 65, 129};
+  for (index_t m : ms) {
+    for (index_t k : ks) {
+      for (index_t pad : {index_t{0}, index_t{3}}) {
+        Panel l(k, k, pad);
+        fill_lower_factor(l, rng);
+        Panel x_ref(m, k, pad);
+        x_ref.fill_random(rng);
+        Panel x_tiled = x_ref;
+        ImplGuard guard;
+        set_kernel_impl(KernelImpl::reference);
+        const nnz_t f_ref =
+            panel_trsm_right_lt(m, k, l.data(), l.ld, x_ref.data(), x_ref.ld);
+        set_kernel_impl(KernelImpl::tiled);
+        const nnz_t f_tiled = panel_trsm_right_lt(m, k, l.data(), l.ld,
+                                                  x_tiled.data(), x_tiled.ld);
+        EXPECT_EQ(f_ref, f_tiled);
+        EXPECT_EQ(f_ref, trsm_right_lt_flops(m, k));
+        expect_panels_close(x_ref, x_tiled, k, "panel_trsm_right_lt");
+        x_tiled.expect_padding_intact("panel_trsm_right_lt");
+      }
+    }
+  }
+}
+
+TEST(KernelConformance, PanelCholesky) {
+  Rng rng(106);
+  struct Shape {
+    index_t m, t;
+  };
+  const Shape shapes[] = {{1, 1},   {4, 2},    {8, 8},     {40, 40},
+                          {65, 64}, {70, 30},  {129, 129}, {150, 70},
+                          {200, 3}, {90, 0}};
+  for (const auto& s : shapes) {
+    for (index_t pad : {index_t{0}, index_t{6}}) {
+      // SPD m x m matrix; the kernel factors its first t columns.
+      Matrix base(s.m, s.m);
+      for (index_t j = 0; j < s.m; ++j) {
+        for (index_t i = 0; i < s.m; ++i) base(i, j) = rng.uniform(-1.0, 1.0);
+      }
+      Matrix spd(s.m, s.m);
+      {
+        ImplGuard guard;
+        set_kernel_impl(KernelImpl::reference);
+        gemm(1.0, base, false, base, true, spd);  // B B^T
+      }
+      for (index_t i = 0; i < s.m; ++i) {
+        spd(i, i) += static_cast<real_t>(s.m);
+      }
+      Panel p_ref(s.m, std::max<index_t>(s.t, 1), pad);
+      for (index_t j = 0; j < s.t; ++j) {
+        for (index_t i = 0; i < s.m; ++i) p_ref.at(i, j) = spd(i, j);
+      }
+      Panel p_tiled = p_ref;
+      ImplGuard guard;
+      set_kernel_impl(KernelImpl::reference);
+      const nnz_t f_ref =
+          panel_cholesky(s.m, s.t, p_ref.data(), p_ref.ld);
+      set_kernel_impl(KernelImpl::tiled);
+      const nnz_t f_tiled =
+          panel_cholesky(s.m, s.t, p_tiled.data(), p_tiled.ld);
+      EXPECT_EQ(f_ref, f_tiled);
+      EXPECT_EQ(f_ref, cholesky_panel_flops(s.m, s.t));
+      // Only the lower trapezoid is defined output; entries strictly
+      // above the diagonal must be bit-untouched by both impls.
+      for (index_t j = 0; j < s.t; ++j) {
+        for (index_t i = j; i < s.m; ++i) {
+          ASSERT_NEAR(p_ref.at(i, j), p_tiled.at(i, j), tol(s.m))
+              << "panel_cholesky mismatch at (" << i << ", " << j << ")";
+        }
+        for (index_t i = 0; i < j; ++i) {
+          ASSERT_EQ(p_ref.at(i, j), spd(i, j));
+          ASSERT_EQ(p_tiled.at(i, j), spd(i, j));
+        }
+      }
+      p_tiled.expect_padding_intact("panel_cholesky");
+    }
+  }
+}
+
+TEST(KernelConformance, PanelCholeskyNonPositivePivotReportsGlobalColumn) {
+  // A pivot failure inside a later tile of the blocked algorithm must
+  // report the panel-global column, like the reference kernel.
+  const index_t t = 70;  // two 64-wide tiles in the tiled implementation
+  Matrix spd(t, t);
+  Rng rng(107);
+  Matrix base(t, t);
+  for (index_t j = 0; j < t; ++j) {
+    for (index_t i = 0; i < t; ++i) base(i, j) = rng.uniform(-1.0, 1.0);
+  }
+  gemm(1.0, base, false, base, true, spd);
+  for (index_t i = 0; i < t; ++i) spd(i, i) += static_cast<real_t>(t);
+  spd(68, 68) = -1e6;  // forces a non-positive pivot in the second tile
+  for (KernelImpl impl : {KernelImpl::reference, KernelImpl::tiled}) {
+    ImplGuard guard;
+    set_kernel_impl(impl);
+    Matrix work = spd;
+    try {
+      panel_cholesky(t, t, work.col(0), t);
+      FAIL() << "expected NumericalError";
+    } catch (const NumericalError& e) {
+      EXPECT_NE(std::string(e.what()).find("column 68"), std::string::npos)
+          << kernel_impl_name(impl) << " reported: " << e.what();
+    }
+  }
+}
+
+TEST(KernelConformance, MatrixGemmAllTransposeCombinations) {
+  Rng rng(108);
+  const GemmShape shapes[] = {{7, 5, 6}, {33, 17, 65}, {64, 64, 64},
+                              {1, 9, 130}};
+  for (const auto& s : shapes) {
+    for (bool ta : {false, true}) {
+      for (bool tb : {false, true}) {
+        Matrix a = ta ? Matrix(s.k, s.m) : Matrix(s.m, s.k);
+        Matrix b = tb ? Matrix(s.n, s.k) : Matrix(s.k, s.n);
+        for (index_t j = 0; j < a.cols(); ++j) {
+          for (index_t i = 0; i < a.rows(); ++i) {
+            a(i, j) = rng.uniform(-1.0, 1.0);
+          }
+        }
+        for (index_t j = 0; j < b.cols(); ++j) {
+          for (index_t i = 0; i < b.rows(); ++i) {
+            b(i, j) = rng.uniform(-1.0, 1.0);
+          }
+        }
+        Matrix c_ref(s.m, s.n);
+        Matrix c_tiled(s.m, s.n);
+        ImplGuard guard;
+        set_kernel_impl(KernelImpl::reference);
+        gemm(-2.0, a, ta, b, tb, c_ref);
+        set_kernel_impl(KernelImpl::tiled);
+        gemm(-2.0, a, ta, b, tb, c_tiled);
+        for (index_t j = 0; j < s.n; ++j) {
+          for (index_t i = 0; i < s.m; ++i) {
+            ASSERT_NEAR(c_ref(i, j), c_tiled(i, j), tol(s.k))
+                << "gemm(ta=" << ta << ", tb=" << tb << ") at (" << i << ", "
+                << j << ")";
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(KernelConformance, Gemv) {
+  Rng rng(109);
+  for (index_t m : {index_t{1}, index_t{9}, index_t{64}, index_t{130}}) {
+    for (index_t n : {index_t{1}, index_t{3}, index_t{4}, index_t{65}}) {
+      Matrix a(m, n);
+      for (index_t j = 0; j < n; ++j) {
+        for (index_t i = 0; i < m; ++i) a(i, j) = rng.uniform(-1.0, 1.0);
+      }
+      std::vector<real_t> x(static_cast<std::size_t>(n));
+      for (auto& v : x) v = rng.uniform(-1.0, 1.0);
+      std::vector<real_t> y_ref(static_cast<std::size_t>(m), 0.5);
+      std::vector<real_t> y_tiled = y_ref;
+      ImplGuard guard;
+      set_kernel_impl(KernelImpl::reference);
+      gemv(1.5, a, x, y_ref);
+      set_kernel_impl(KernelImpl::tiled);
+      gemv(1.5, a, x, y_tiled);
+      for (index_t i = 0; i < m; ++i) {
+        ASSERT_NEAR(y_ref[static_cast<std::size_t>(i)],
+                    y_tiled[static_cast<std::size_t>(i)], tol(n));
+      }
+    }
+  }
+}
+
+TEST(KernelConformance, NanPropagatesThroughGemm) {
+  // The old kernels skipped zero B entries and with them NaN/Inf columns
+  // of A; both implementations must propagate non-finite values now.
+  const index_t n = 6;
+  Panel a(n, n, 0);
+  Panel b(n, n, 0);
+  Rng rng(110);
+  a.fill_random(rng);
+  b.fill_random(rng);
+  a.at(2, 3) = std::nan("");
+  b.at(3, 1) = 0.0;  // multiplies the NaN column of A
+  for (KernelImpl impl : {KernelImpl::reference, KernelImpl::tiled}) {
+    ImplGuard guard;
+    set_kernel_impl(impl);
+    Panel c(n, n, 0);
+    c.fill_random(rng);
+    panel_gemm(n, n, n, 1.0, a.data(), a.ld, b.data(), b.ld, c.data(), c.ld);
+    EXPECT_TRUE(std::isnan(c.at(2, 1)))
+        << kernel_impl_name(impl) << " swallowed NaN * 0";
+  }
+}
+
+TEST(KernelConformance, EnvSelection) {
+  EXPECT_STREQ(kernel_impl_name(KernelImpl::reference), "reference");
+  EXPECT_STREQ(kernel_impl_name(KernelImpl::tiled), "tiled");
+  ImplGuard guard;
+  set_kernel_impl(KernelImpl::reference);
+  EXPECT_EQ(kernel_impl(), KernelImpl::reference);
+  set_kernel_impl(KernelImpl::tiled);
+  EXPECT_EQ(kernel_impl(), KernelImpl::tiled);
+}
+
+}  // namespace
+}  // namespace sparts::dense

@@ -42,6 +42,9 @@ options:
                         (default 0 = sequential host solve)
   --backend NAME        sim (deterministic simulator, T3D cost model) |
                         threads (one std::thread per rank)  (default sim)
+  --kernels NAME        tiled (cache-blocked dense kernels) | ref (naive
+                        loops; conformance oracle)  (default: SPARTS_KERNELS
+                        environment variable, else tiled)
   --refine N            iterative-refinement steps        (default 0)
   --report              print the full analysis report
   --condest             estimate the 1-norm condition number
@@ -54,6 +57,14 @@ solver::ExecutionBackend parse_backend(const std::string& s) {
   if (s == "sim") return solver::ExecutionBackend::simulated;
   if (s == "threads") return solver::ExecutionBackend::threads;
   throw InvalidArgument("unknown backend: " + s);
+}
+
+dense::KernelImpl parse_kernels(const std::string& s) {
+  if (s == "reference" || s == "ref" || s == "naive") {
+    return dense::KernelImpl::reference;
+  }
+  if (s == "tiled" || s == "blocked") return dense::KernelImpl::tiled;
+  throw InvalidArgument("unknown kernel implementation: " + s);
 }
 
 solver::OrderingMethod parse_ordering(const std::string& s) {
@@ -97,6 +108,8 @@ int main(int argc, char** argv) {
         procs = std::stoll(next());
       } else if (arg == "--backend") {
         options.backend = parse_backend(next());
+      } else if (arg == "--kernels") {
+        options.kernels = parse_kernels(next());
       } else if (arg == "--refine") {
         refine = std::stoi(next());
       } else if (arg == "--report") {
