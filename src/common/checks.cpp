@@ -1,0 +1,66 @@
+#include "common/checks.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <string>
+
+namespace sparts {
+
+namespace {
+
+#ifndef SPARTS_CHECKS_DEFAULT_LEVEL
+#define SPARTS_CHECKS_DEFAULT_LEVEL 1
+#endif
+
+/// -1 = not resolved yet; otherwise a CheckLevel value.
+std::atomic<int> g_level{-1};
+
+CheckLevel resolve_from_environment() {
+  const char* env = std::getenv("SPARTS_CHECKS");
+  if (env != nullptr && env[0] != '\0') {
+    return parse_check_level(env);
+  }
+  return static_cast<CheckLevel>(SPARTS_CHECKS_DEFAULT_LEVEL);
+}
+
+}  // namespace
+
+CheckLevel parse_check_level(const std::string& name) {
+  if (name == "off" || name == "0" || name == "none") return CheckLevel::off;
+  if (name == "cheap" || name == "1") return CheckLevel::cheap;
+  if (name == "expensive" || name == "2" || name == "full") {
+    return CheckLevel::expensive;
+  }
+  throw InvalidArgument("unknown check level '" + name +
+                        "' (expected off, cheap, or expensive)");
+}
+
+const char* to_string(CheckLevel level) {
+  switch (level) {
+    case CheckLevel::off:
+      return "off";
+    case CheckLevel::cheap:
+      return "cheap";
+    case CheckLevel::expensive:
+      return "expensive";
+  }
+  return "unknown";
+}
+
+CheckLevel check_level() {
+  int v = g_level.load(std::memory_order_acquire);
+  if (v < 0) {
+    v = static_cast<int>(resolve_from_environment());
+    int expected = -1;
+    // First resolver wins; a concurrent set_check_level keeps its value.
+    g_level.compare_exchange_strong(expected, v, std::memory_order_acq_rel);
+    v = g_level.load(std::memory_order_acquire);
+  }
+  return static_cast<CheckLevel>(v);
+}
+
+void set_check_level(CheckLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_release);
+}
+
+}  // namespace sparts

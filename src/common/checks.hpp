@@ -1,0 +1,74 @@
+// Leveled structural-invariant checking (the SPARTS_CHECKS system).
+//
+// SPARTS_CHECK / SPARTS_DCHECK (common/error.hpp) guard local, O(1)
+// preconditions.  The validators spread through the solver stack (CSC
+// sortedness, permutation bijectivity, etree acyclicity, supernode
+// contiguity, block-cyclic ownership, ...) can cost as much as the
+// computation they protect, so they are gated behind a runtime level:
+//
+//   off        no structural validation (benchmark mode)
+//   cheap      O(n)-ish validation at module entry points   [default]
+//   expensive  full validation, including O(nnz)/O(n log n) passes and
+//              re-validation of intermediate results
+//
+// The level is chosen, in order of precedence:
+//   1. set_check_level() (tests),
+//   2. the SPARTS_CHECKS environment variable ("off"|"cheap"|"expensive"
+//      or "0"|"1"|"2"),
+//   3. the compile-time default from the SPARTS_CHECKS CMake option
+//      (macro SPARTS_CHECKS_DEFAULT_LEVEL, 1 = cheap when unset).
+//
+// Usage:
+//   if (checks_at_least(CheckLevel::cheap)) validate_csc(...);
+//   SPARTS_VALIDATE_CHEAP(validate_etree(tree));
+//
+// Validators themselves always throw sparts::Error with a message naming
+// the violated invariant (a bracketed [invariant-name] tag); the level
+// only decides whether they run.
+#pragma once
+
+#include "common/error.hpp"
+
+namespace sparts {
+
+enum class CheckLevel : int {
+  off = 0,
+  cheap = 1,
+  expensive = 2,
+};
+
+/// The active validation level (cached after the first query).
+CheckLevel check_level();
+
+/// Override the level at runtime (tests / tools).  Passing the current
+/// level is fine; the override wins over the environment.
+void set_check_level(CheckLevel level);
+
+/// True when the active level is `level` or stricter.
+inline bool checks_at_least(CheckLevel level) {
+  return static_cast<int>(check_level()) >= static_cast<int>(level);
+}
+
+/// Parse "off"/"cheap"/"expensive" (or "0"/"1"/"2"); throws
+/// InvalidArgument on anything else.
+CheckLevel parse_check_level(const std::string& name);
+
+/// Printable name of a level.
+const char* to_string(CheckLevel level);
+
+}  // namespace sparts
+
+/// Run a validator expression only at the given level or stricter.
+#define SPARTS_VALIDATE_CHEAP(expr)                                   \
+  do {                                                                \
+    if (::sparts::checks_at_least(::sparts::CheckLevel::cheap)) {     \
+      expr;                                                           \
+    }                                                                 \
+  } while (0)
+
+#define SPARTS_VALIDATE_EXPENSIVE(expr)                               \
+  do {                                                                \
+    if (::sparts::checks_at_least(::sparts::CheckLevel::expensive)) { \
+      expr;                                                           \
+    }                                                                 \
+  } while (0)

@@ -41,6 +41,15 @@ class DeadlockError : public Error {
   explicit DeadlockError(const std::string& what) : Error(what) {}
 };
 
+/// The checked execution backend (exec::CheckedBackend) finished a run
+/// with correctness findings — wildcard-receive races, tag collisions,
+/// orphaned sends, or deadlock wait-for cycles — and was configured to
+/// fail on them.
+class AnalysisError : public Error {
+ public:
+  explicit AnalysisError(const std::string& what) : Error(what) {}
+};
+
 namespace detail {
 [[noreturn]] void throw_check_failure(const char* expr, const char* file,
                                       int line, const std::string& msg);

@@ -131,15 +131,18 @@ std::vector<std::vector<real_t>> allgather(Process& proc, const Group& g,
   if (q == 1) return result;
   // Ring: in step k, send the piece originated by (me - k) mod q to the
   // next rank and receive the piece originated by (me - k - 1) mod q.
+  // Each step gets its own tag (tag + k): a fast rank may push step k+1
+  // into a neighbor's mailbox before the neighbor consumed step k, and
+  // two in-flight messages must never share (src, dst, tag).
   const index_t next = g.world((me + 1) % q);
   const index_t prev = g.world((me + q - 1) % q);
   for (index_t k = 0; k < q - 1; ++k) {
     const index_t out_origin = (me - k + q) % q;
     const index_t in_origin = (me - k - 1 + 2 * q) % q;
-    proc.send_values<real_t>(next, tag,
+    proc.send_values<real_t>(next, tag + static_cast<int>(k),
                              result[static_cast<std::size_t>(out_origin)]);
     result[static_cast<std::size_t>(in_origin)] =
-        proc.recv_values<real_t>(prev, tag);
+        proc.recv_values<real_t>(prev, tag + static_cast<int>(k));
   }
   return result;
 }

@@ -6,6 +6,13 @@
 // Backend-agnostic: only the Process contract is used, so the same
 // collectives run simulated or on real threads.
 //
+// Tag discipline: a collective with base tag t may use tags t .. t + K,
+// where K is the number of internal rounds (ring steps for allgather,
+// hypercube rounds for all_to_all / gather, +1 for allreduce / barrier).
+// Callers must space base tags so concurrent collectives never overlap;
+// no two in-flight messages then share a (src, dst, tag) triple, which
+// is what exec::CheckedBackend verifies.
+//
 // Costs under the simulated backend (unit-tested in test_sim_collectives):
 //   broadcast / reduce:  log q * (t_s + m t_w)   (+ hop terms)
 //   all_to_all_personalized (hypercube pairwise): sum over log q rounds.
@@ -53,7 +60,8 @@ void broadcast_from(Process& proc, const Group& g, index_t root,
                     std::vector<real_t>& data, int tag);
 
 /// Ring all-gather of variable-length contributions: returns result[r] =
-/// the vector contributed by group-local rank r, on every rank.
+/// the vector contributed by group-local rank r, on every rank.  Uses
+/// tags tag .. tag + count - 2 (one per ring step).
 std::vector<std::vector<real_t>> allgather(Process& proc, const Group& g,
                                            std::vector<real_t> mine, int tag);
 

@@ -83,4 +83,14 @@ struct BlockCyclic2d {
   static BlockCyclic2d near_square(index_t q, index_t b);
 };
 
+/// Structural validator (SPARTS_CHECKS system) for a 1-D map over n
+/// indices: shape ([block-cyclic-shape]) plus a full ownership sweep —
+/// every index owned by exactly one rank, packed local indices form a
+/// bijection, per-rank counts sum to n ([block-cyclic-ownership]).  O(n).
+void validate_block_cyclic(const BlockCyclic1d& map, index_t n);
+
+/// Structural validator for a 2-D grid map: shape and grid-ownership
+/// consistency over one full period of block coordinates.
+void validate_block_cyclic(const BlockCyclic2d& map);
+
 }  // namespace sparts::mapping

@@ -4,6 +4,7 @@
 #include <bit>
 #include <numeric>
 
+#include "common/checks.hpp"
 #include "common/error.hpp"
 #include "ordering/etree.hpp"
 
@@ -18,18 +19,25 @@ index_t SubcubeMapping::level(index_t s) const {
 void SubcubeMapping::check_consistent(
     const symbolic::SupernodePartition& part) const {
   const index_t nsup = part.num_supernodes();
-  SPARTS_CHECK(static_cast<index_t>(group.size()) == nsup);
+  SPARTS_CHECK(static_cast<index_t>(group.size()) == nsup,
+               "[subcube-mapping] mapping must cover all " << nsup
+                   << " supernodes");
   for (index_t s = 0; s < nsup; ++s) {
     const exec::Group& g = group[static_cast<std::size_t>(s)];
     SPARTS_CHECK(g.count >= 1 && (g.count & (g.count - 1)) == 0,
-                 "group size must be a power of two");
-    SPARTS_CHECK(g.base >= 0 && g.base + g.count <= p);
+                 "[subcube-mapping] group size of supernode "
+                     << s << " must be a power of two, got " << g.count);
+    SPARTS_CHECK(g.base >= 0 && g.base + g.count <= p,
+                 "[subcube-mapping] group [" << g.base << ", "
+                     << g.base + g.count << ") of supernode " << s
+                     << " outside the " << p << "-processor machine");
     const index_t parent = part.stree.parent[static_cast<std::size_t>(s)];
     if (parent != -1) {
       const exec::Group& pg = group[static_cast<std::size_t>(parent)];
       SPARTS_CHECK(g.base >= pg.base &&
                        g.base + g.count <= pg.base + pg.count,
-                   "child group must be contained in parent group");
+                   "[subcube-mapping] child group of supernode "
+                       << s << " must be contained in its parent's group");
     }
   }
 }
@@ -121,6 +129,7 @@ SubcubeMapping subtree_to_subcube(const symbolic::SupernodePartition& part,
   m.group.assign(static_cast<std::size_t>(nsup), exec::Group{0, 1});
   assign_forest(children, subtree_work, roots, exec::Group{0, p},
                 m.group);
+  SPARTS_VALIDATE_EXPENSIVE(m.check_consistent(part));
   return m;
 }
 

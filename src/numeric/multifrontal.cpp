@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/checks.hpp"
 #include "common/error.hpp"
 #include "dense/kernels.hpp"
 #include "ordering/etree.hpp"
@@ -26,6 +27,7 @@ SupernodalFactor multifrontal_cholesky(const sparse::SymmetricCsc& a,
                                        FactorizationStats* stats) {
   const index_t nsup = p.num_supernodes();
   SPARTS_CHECK(p.n() == a.n(), "partition does not match matrix");
+  SPARTS_VALIDATE_EXPENSIVE(p.check_consistent());
   SupernodalFactor factor(p);
   FactorizationStats local_stats;
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/checks.hpp"
 #include "common/error.hpp"
 
 namespace sparts::ordering {
@@ -99,6 +100,7 @@ EliminationTree relabel_tree(const EliminationTree& t,
                              std::span<const index_t> order) {
   const index_t n = t.n();
   SPARTS_CHECK(static_cast<index_t>(order.size()) == n);
+  SPARTS_VALIDATE_EXPENSIVE(validate_postorder(t, order));
   std::vector<index_t> new_of_old(static_cast<std::size_t>(n));
   for (index_t k = 0; k < n; ++k) {
     new_of_old[static_cast<std::size_t>(order[static_cast<std::size_t>(k)])] =
@@ -184,6 +186,40 @@ bool is_postorder(const EliminationTree& t, std::span<const index_t> order) {
     }
   }
   return true;
+}
+
+void validate_etree(const EliminationTree& t) {
+  const index_t n = t.n();
+  for (index_t v = 0; v < n; ++v) {
+    const index_t p = t.parent[static_cast<std::size_t>(v)];
+    SPARTS_CHECK(p == -1 || (p >= 0 && p < n),
+                 "[etree-bounds] parent of vertex " << v << " is " << p
+                     << ", outside -1 and [0, " << n << ")");
+  }
+  // Acyclicity: follow parent pointers from every vertex; stamp the walk
+  // so each vertex is visited once over the whole pass (O(n) total).
+  std::vector<index_t> visited_in(static_cast<std::size_t>(n), -1);
+  for (index_t v = 0; v < n; ++v) {
+    index_t u = v;
+    while (u != -1 && visited_in[static_cast<std::size_t>(u)] == -1) {
+      visited_in[static_cast<std::size_t>(u)] = v;
+      u = t.parent[static_cast<std::size_t>(u)];
+    }
+    SPARTS_CHECK(u == -1 || visited_in[static_cast<std::size_t>(u)] != v,
+                 "[etree-acyclicity] vertex " << u
+                     << " is on a parent-pointer cycle; an elimination "
+                        "tree must be acyclic");
+  }
+}
+
+void validate_postorder(const EliminationTree& t,
+                        std::span<const index_t> order) {
+  validate_etree(t);
+  SPARTS_CHECK(is_postorder(t, order),
+               "[postorder-consistency] order of length "
+                   << order.size() << " is not a postorder of the " << t.n()
+                   << "-vertex elimination tree (children must precede "
+                      "parents, subtrees must be contiguous)");
 }
 
 }  // namespace sparts::ordering

@@ -53,4 +53,14 @@ index_t tree_height(const EliminationTree& t);
 /// all vertices of its subtree).
 bool is_postorder(const EliminationTree& t, std::span<const index_t> order);
 
+/// Structural validator (SPARTS_CHECKS system): parent pointers in range
+/// or -1 and acyclic.  Throws sparts::Error tagged [etree-bounds] /
+/// [etree-acyclicity] on violation.  O(n).
+void validate_etree(const EliminationTree& t);
+
+/// Structural validator: `order` must be a postorder of `t`.  Throws
+/// sparts::Error tagged [postorder-consistency] on violation.
+void validate_postorder(const EliminationTree& t,
+                        std::span<const index_t> order);
+
 }  // namespace sparts::ordering

@@ -5,9 +5,11 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/checks.hpp"
 #include "common/error.hpp"
 #include "dense/kernels.hpp"
 #include "mapping/block_cyclic.hpp"
+#include "sparse/validate.hpp"
 #include "ordering/etree.hpp"
 #include "partrisolve/layout.hpp"
 #include "exec/collectives.hpp"
@@ -18,10 +20,37 @@ namespace {
 
 using partrisolve::Layout;
 
-int tag_extend_add(index_t c) { return static_cast<int>(8 * c + 0); }
-int tag_diag(index_t s) { return static_cast<int>(8 * s + 1); }
-int tag_rowbcast(index_t s) { return static_cast<int>(8 * s + 2); }
-int tag_colgather(index_t s) { return static_cast<int>(8 * s + 3); }
+/// Tag streams.  Every in-flight message must have a unique
+/// (src, dst, tag): extend-add packets are one-shot per (child, edge),
+/// but the panel-loop collectives repeat over panels — and the column
+/// all-gather additionally over ring steps — so those indices are folded
+/// into the tag.  Ranks derive identical tags from shared arithmetic.
+struct TagScheme {
+  index_t panel_span;  ///< tags reserved per panel (diag, rowbcast, ring)
+  index_t stride;      ///< tags reserved per supernode
+
+  TagScheme(const symbolic::SupernodePartition& part, index_t b2d,
+            index_t p) {
+    index_t max_panels = 1;
+    for (index_t s = 0; s < part.num_supernodes(); ++s) {
+      max_panels = std::max(max_panels, (part.width(s) + b2d - 1) / b2d);
+    }
+    panel_span = 2 + p;  // diag + rowbcast + up to p-1 all-gather steps
+    stride = 1 + max_panels * panel_span;
+  }
+
+  int extend_add(index_t c) const { return static_cast<int>(stride * c); }
+  int diag(index_t s, index_t panel) const {
+    return static_cast<int>(stride * s + 1 + panel * panel_span);
+  }
+  int rowbcast(index_t s, index_t panel) const {
+    return diag(s, panel) + 1;
+  }
+  /// Base tag; allgather() consumes base .. base + group size - 2.
+  int colgather(index_t s, index_t panel) const {
+    return diag(s, panel) + 2;
+  }
+};
 
 /// The 2-D geometry of one supernode's front on its processor group.
 struct FrontGeometry {
@@ -88,11 +117,14 @@ Report parallel_multifrontal(exec::Comm& machine,
                              const Options& options) {
   SPARTS_CHECK(machine.nprocs() == map.p);
   SPARTS_CHECK(part.n() == a.n());
-  map.check_consistent(part);
+  SPARTS_VALIDATE_CHEAP(map.check_consistent(part));
+  SPARTS_VALIDATE_EXPENSIVE(part.check_consistent());
+  SPARTS_VALIDATE_EXPENSIVE(sparse::validate_symmetric_csc(a));
   out = numeric::SupernodalFactor(part);
 
   const index_t nsup = part.num_supernodes();
   const index_t b2d = options.block_2d;
+  const TagScheme tags(part, b2d, map.p);
   auto children = ordering::tree_children(part.stree);
 
   // Position of each child's below-rows inside the parent front.
@@ -198,7 +230,7 @@ Report parallel_multifrontal(exec::Comm& machine,
             }
           });
           for (auto& [dst, values] : buckets) {
-            proc.send_values<real_t>(dst, tag_extend_add(c), values);
+            proc.send_values<real_t>(dst, tags.extend_add(c), values);
           }
           nnz_t moved = 0;
           for (auto& [dst, values] : buckets) {
@@ -223,7 +255,7 @@ Report parallel_multifrontal(exec::Comm& machine,
                       }
                     });
           if (mine.empty()) continue;
-          auto values = proc.recv_values<real_t>(src, tag_extend_add(c));
+          auto values = proc.recv_values<real_t>(src, tags.extend_add(c));
           SPARTS_CHECK(values.size() == mine.size(),
                        "extend-add payload size mismatch");
           for (std::size_t z = 0; z < mine.size(); ++z) {
@@ -280,7 +312,7 @@ Report parallel_multifrontal(exec::Comm& machine,
           }
           if (gc == panel_gc && geo.qr() > 1) {
             exec::broadcast_from(proc, col_group, panel_gr, diag,
-                                   tag_diag(s));
+                                   tags.diag(s, p0 / b2d));
           }
 
           // Step 2: row-panel solves on the panel's grid column, then
@@ -306,7 +338,7 @@ Report parallel_multifrontal(exec::Comm& machine,
           }
           if (geo.qc() > 1) {
             exec::broadcast_from(proc, row_group, panel_gc, rowpiece,
-                                   tag_rowbcast(s));
+                                   tags.rowbcast(s, p0 / b2d));
           }
 
           // Step 3: all-gather, along the grid column, of the sub-pieces
@@ -335,7 +367,7 @@ Report parallel_multifrontal(exec::Comm& machine,
           std::vector<std::vector<real_t>> gathered;
           if (geo.qr() > 1) {
             gathered = exec::allgather(proc, col_group, std::move(contrib),
-                                         tag_colgather(s));
+                                         tags.colgather(s, p0 / b2d));
           } else {
             gathered.push_back(std::move(contrib));
           }

@@ -4,8 +4,10 @@
 #include <map>
 #include <unordered_map>
 
+#include "common/checks.hpp"
 #include "common/error.hpp"
 #include "dense/kernels.hpp"
+#include "mapping/block_cyclic.hpp"
 #include "ordering/etree.hpp"
 #include "partrisolve/layout.hpp"
 #include "partrisolve/packets.hpp"
@@ -15,11 +17,15 @@ namespace sparts::partrisolve {
 
 namespace {
 
-// Message tags: 4 streams per supernode id.
+// Message tags.  Contribution and copy packets are one-shot per
+// (edge, supernode), so they key on the supernode id.  Tokens of the
+// pipelined kernels key on the *global pivot-block id* (the supernode's
+// block_base plus the block index): several tokens of one supernode can
+// be in flight on the same ring edge at once, and no two in-flight
+// messages may share a (src, dst, tag) triple.  The residues mod 4 keep
+// the four streams disjoint.
 int tag_fw_contrib(index_t s) { return static_cast<int>(4 * s + 0); }
-int tag_fw_token(index_t s) { return static_cast<int>(4 * s + 1); }
 int tag_bw_copy(index_t s) { return static_cast<int>(4 * s + 2); }
-int tag_bw_token(index_t s) { return static_cast<int>(4 * s + 3); }
 
 /// Per-rank working storage: supernode id -> packed local RHS fragment.
 using BufferMap = std::unordered_map<index_t, std::vector<real_t>>;
@@ -43,12 +49,30 @@ DistributedTrisolver::DistributedTrisolver(
   }
   SPARTS_CHECK(options_.block_size >= 1);
   const auto& part = factor_.partition();
-  map_.check_consistent(part);
+  SPARTS_VALIDATE_CHEAP(map_.check_consistent(part));
+  // Expensive: the 1-D block-cyclic ownership of every shared supernode's
+  // trapezoid must partition its positions (the solver's routing tables
+  // are derived from exactly this arithmetic).
+  if (checks_at_least(CheckLevel::expensive)) {
+    for (index_t s = 0; s < part.num_supernodes(); ++s) {
+      const exec::Group& g = map_.group[static_cast<std::size_t>(s)];
+      if (g.count == 1) continue;
+      mapping::validate_block_cyclic(
+          mapping::BlockCyclic1d{options_.block_size, g.count},
+          part.height(s));
+    }
+  }
   children_ = ordering::tree_children(part.stree);
 
   const index_t nsup = part.num_supernodes();
   routing_.resize(static_cast<std::size_t>(nsup));
   const index_t b = options_.block_size;
+  block_base_.resize(static_cast<std::size_t>(nsup));
+  index_t next_block = 0;
+  for (index_t s = 0; s < nsup; ++s) {
+    block_base_[static_cast<std::size_t>(s)] = next_block;
+    next_block += (part.width(s) + b - 1) / b;
+  }
   for (index_t s = 0; s < nsup; ++s) {
     const index_t parent = part.stree.parent[static_cast<std::size_t>(s)];
     if (parent == -1) continue;
@@ -95,8 +119,19 @@ struct PhaseContext {
   const mapping::SubcubeMapping& map;
   const Options& options;
   const std::vector<std::vector<index_t>>& children;
+  const std::vector<index_t>& block_base;  ///< global id of first pivot block
   index_t m;
 };
+
+/// Token tag for pivot block k of supernode s (see the tag notes above).
+int tag_fw_token(const PhaseContext& ctx, index_t s, index_t k) {
+  return static_cast<int>(
+      4 * (ctx.block_base[static_cast<std::size_t>(s)] + k) + 1);
+}
+int tag_bw_token(const PhaseContext& ctx, index_t s, index_t k) {
+  return static_cast<int>(
+      4 * (ctx.block_base[static_cast<std::size_t>(s)] + k) + 3);
+}
 
 Layout layout_of(const PhaseContext& ctx, index_t s) {
   const auto& part = ctx.factor.partition();
@@ -181,7 +216,7 @@ void fw_pipelined_column_priority(exec::Process& proc, const PhaseContext& ctx,
       }
       proc.compute_at(static_cast<double>(bk * m), proc.cost().t_mem);
       if (q > 1) {
-        proc.send_values<real_t>(next, tag_fw_token(s), token);
+        proc.send_values<real_t>(next, tag_fw_token(ctx, s, k), token);
       }
       // Mixed tail: below-part rows sharing block K (only the last pivot
       // block when b does not divide t).
@@ -195,9 +230,9 @@ void fw_pipelined_column_priority(exec::Process& proc, const PhaseContext& ctx,
                         proc.cost().panel_flop(m));
       }
     } else {
-      token = proc.recv_values<real_t>(prev, tag_fw_token(s));
+      token = proc.recv_values<real_t>(prev, tag_fw_token(ctx, s, k));
       if ((r + 1) % q != owner) {
-        proc.send_values<real_t>(next, tag_fw_token(s), token);
+        proc.send_values<real_t>(next, tag_fw_token(ctx, s, k), token);
       }
     }
     fw_apply_token_to_my_blocks(proc, ctx, lay, r, lv, k, token, v,
@@ -231,9 +266,11 @@ void fw_pipelined_row_priority(exec::Process& proc, const PhaseContext& ctx,
     // produced when I processed their diagonal block.
     while (tokens[static_cast<std::size_t>(k)].empty()) {
       SPARTS_CHECK(next_foreign <= k, "token ordering violated");
-      auto tok = proc.recv_values<real_t>(prev, tag_fw_token(s));
+      auto tok =
+          proc.recv_values<real_t>(prev, tag_fw_token(ctx, s, next_foreign));
       if ((r + 1) % q != lay.owner_of_block(next_foreign)) {
-        proc.send_values<real_t>(next, tag_fw_token(s), tok);
+        proc.send_values<real_t>(next, tag_fw_token(ctx, s, next_foreign),
+                                 tok);
       }
       tokens[static_cast<std::size_t>(next_foreign)] = std::move(tok);
       ++next_foreign;
@@ -271,7 +308,7 @@ void fw_pipelined_row_priority(exec::Process& proc, const PhaseContext& ctx,
         }
       }
       proc.compute_at(static_cast<double>(bk * m), proc.cost().t_mem);
-      if (q > 1) proc.send_values<real_t>(next, tag_fw_token(s), token);
+      if (q > 1) proc.send_values<real_t>(next, tag_fw_token(ctx, s, i), token);
       if (i1 > c1) {
         // Mixed tail rows of this block need my fresh token as well.
         apply(i, c1, i1 - c1, token);
@@ -284,9 +321,10 @@ void fw_pipelined_row_priority(exec::Process& proc, const PhaseContext& ctx,
   // Drain tokens this rank never needed locally (it must still forward
   // them so downstream ranks receive the full stream).
   while (next_foreign < tb) {
-    auto tok = proc.recv_values<real_t>(prev, tag_fw_token(s));
+    auto tok =
+        proc.recv_values<real_t>(prev, tag_fw_token(ctx, s, next_foreign));
     if ((r + 1) % q != lay.owner_of_block(next_foreign)) {
-      proc.send_values<real_t>(next, tag_fw_token(s), tok);
+      proc.send_values<real_t>(next, tag_fw_token(ctx, s, next_foreign), tok);
     }
     tokens[static_cast<std::size_t>(next_foreign)] = std::move(tok);
     ++next_foreign;
@@ -333,7 +371,7 @@ void fw_fan_out(exec::Process& proc, const PhaseContext& ctx, index_t s,
                         proc.cost().panel_flop(m));
       }
     }
-    exec::broadcast_from(proc, g, owner, token, tag_fw_token(s));
+    exec::broadcast_from(proc, g, owner, token, tag_fw_token(ctx, s, k));
     fw_apply_token_to_my_blocks(proc, ctx, lay, r, lv, k, token, v,
                                 ldv);
   }
@@ -391,16 +429,16 @@ void bw_pipelined(exec::Process& proc, const PhaseContext& ctx, index_t s,
     const index_t chain_pos = ((k - 1 - r) % q + q) % q;
     if (r != owner) {
       if (chain_pos != 0) {
-        auto in = proc.recv_values<real_t>(prev, tag_bw_token(s));
+        auto in = proc.recv_values<real_t>(prev, tag_bw_token(ctx, s, k));
         SPARTS_CHECK(in.size() == acc.size());
         for (std::size_t z = 0; z < acc.size(); ++z) acc[z] += in[z];
         proc.compute_at(static_cast<double>(acc.size()),
                         proc.cost().t_mem);
       }
-      proc.send_values<real_t>(next, tag_bw_token(s), acc);
+      proc.send_values<real_t>(next, tag_bw_token(ctx, s, k), acc);
     } else {
       if (q > 1) {
-        auto in = proc.recv_values<real_t>(prev, tag_bw_token(s));
+        auto in = proc.recv_values<real_t>(prev, tag_bw_token(ctx, s, k));
         SPARTS_CHECK(in.size() == acc.size());
         for (std::size_t z = 0; z < acc.size(); ++z) acc[z] += in[z];
         proc.compute_at(static_cast<double>(acc.size()),
@@ -456,7 +494,7 @@ void bw_fan_in(exec::Process& proc, const PhaseContext& ctx, index_t s,
       proc.compute_at(static_cast<double>(dense::gemm_flops(bk, m, len)),
                       proc.cost().panel_flop(m));
     }
-    exec::reduce_sum_to(proc, g, owner, acc, tag_bw_token(s));
+    exec::reduce_sum_to(proc, g, owner, acc, tag_bw_token(ctx, s, k));
     if (r == owner) {
       const index_t lo = lay.local_of(c0);
       for (index_t c = 0; c < m; ++c) {
@@ -536,7 +574,7 @@ PhaseReport DistributedTrisolver::forward(exec::Comm& machine,
   SPARTS_CHECK(static_cast<index_t>(b_in.size()) == n * m);
   SPARTS_CHECK(static_cast<index_t>(y_out.size()) == n * m);
 
-  PhaseContext ctx{factor_, map_, options_, children_, m};
+  PhaseContext ctx{factor_, map_, options_, children_, block_base_, m};
   const index_t nsup = part.num_supernodes();
 
   std::vector<BufferMap> rank_bufs(static_cast<std::size_t>(map_.p));
@@ -667,7 +705,7 @@ PhaseReport DistributedTrisolver::backward(exec::Comm& machine,
   SPARTS_CHECK(static_cast<index_t>(y_in.size()) == n * m);
   SPARTS_CHECK(static_cast<index_t>(x_out.size()) == n * m);
 
-  PhaseContext ctx{factor_, map_, options_, children_, m};
+  PhaseContext ctx{factor_, map_, options_, children_, block_base_, m};
   const index_t nsup = part.num_supernodes();
   std::vector<BufferMap> rank_bufs(static_cast<std::size_t>(map_.p));
 

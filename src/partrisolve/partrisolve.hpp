@@ -104,6 +104,10 @@ class DistributedTrisolver {
   Options options_;
   std::vector<std::vector<index_t>> children_;  ///< per supernode
   std::vector<ChildRouting> routing_;           ///< per supernode (to parent)
+  /// Prefix sums of pivot-block counts: block_base_[s] is the global id
+  /// of supernode s's first pivot block.  Token tags are derived from
+  /// global block ids so every in-flight token has a unique tag.
+  std::vector<index_t> block_base_;
 };
 
 }  // namespace sparts::partrisolve

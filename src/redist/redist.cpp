@@ -4,6 +4,7 @@
 #include <cmath>
 #include <vector>
 
+#include "common/checks.hpp"
 #include "common/error.hpp"
 #include "mapping/block_cyclic.hpp"
 #include "partrisolve/layout.hpp"
@@ -42,6 +43,23 @@ Report redistribute_factor(exec::Comm& machine,
                            partrisolve::DistributedFactor* out) {
   const auto& part = factor.partition();
   SPARTS_CHECK(machine.nprocs() == map.p);
+  SPARTS_CHECK(options.block_2d >= 1 && options.block_1d >= 1,
+               "redistribution block sizes must be >= 1");
+  SPARTS_VALIDATE_CHEAP(map.check_consistent(part));
+  // The 2-D source and 1-D target distributions of every shared supernode
+  // must partition its trapezoid; validating the maps here turns a
+  // misrouted-layout bug into a named diagnostic instead of a silently
+  // wrong factor.
+  if (checks_at_least(CheckLevel::expensive)) {
+    for (index_t s = 0; s < part.num_supernodes(); ++s) {
+      const exec::Group& g = map.group[static_cast<std::size_t>(s)];
+      if (g.count == 1) continue;
+      mapping::validate_block_cyclic(
+          mapping::BlockCyclic2d::near_square(g.count, options.block_2d));
+      mapping::validate_block_cyclic(
+          mapping::BlockCyclic1d{options.block_1d, g.count}, part.height(s));
+    }
+  }
   const index_t nsup = part.num_supernodes();
   if (out != nullptr) {
     *out = partrisolve::DistributedFactor(part, map, options.block_1d);

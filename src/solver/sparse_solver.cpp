@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "exec/checked_backend.hpp"
 #include "exec/thread_backend.hpp"
 #include "mapping/subtree_to_subcube.hpp"
 #include "numeric/multifrontal.hpp"
@@ -72,8 +73,27 @@ std::unique_ptr<exec::Comm> make_backend(ExecutionBackend backend,
       cfg.cost = exec::CostModel::t3d();
       return std::make_unique<exec::ThreadBackend>(cfg);
     }
+    case ExecutionBackend::checked:
+    case ExecutionBackend::checked_threads: {
+      auto inner = make_backend(backend == ExecutionBackend::checked
+                                    ? ExecutionBackend::simulated
+                                    : ExecutionBackend::threads,
+                                p);
+      exec::CheckedBackend::Options copts;
+      copts.throw_on_findings = true;
+      return std::make_unique<exec::CheckedBackend>(std::move(inner), copts);
+    }
   }
   throw InvalidArgument("unknown execution backend");
+}
+
+/// Fold a checked backend's per-phase report into the result totals.
+void accumulate_report(const exec::Comm& machine, ParallelSolveResult* r) {
+  const auto* checked = dynamic_cast<const exec::CheckedBackend*>(&machine);
+  if (checked == nullptr) return;
+  r->analysis_findings +=
+      static_cast<std::int64_t>(checked->report().findings.size());
+  r->checked_messages += checked->report().sends;
 }
 
 }  // namespace
@@ -182,6 +202,7 @@ ParallelSolveResult parallel_solve(const sparse::SymmetricCsc& a,
         parfact::parallel_multifrontal(*machine, a_perm, part, fact_map,
                                        factor)
             .time();
+    accumulate_report(*machine, &result);
   }
 
   // Phase 2: redistribute the factor 2-D -> 1-D for the solvers.  The
@@ -196,6 +217,7 @@ ParallelSolveResult parallel_solve(const sparse::SymmetricCsc& a,
         redist::redistribute_factor(*machine, factor, solve_map,
                                     redist_options, &local_factor)
             .time();
+    accumulate_report(*machine, &result);
   }
 
   // Phase 3: pipelined triangular solves.
@@ -216,6 +238,7 @@ ParallelSolveResult parallel_solve(const sparse::SymmetricCsc& a,
     auto [fw, bw] = solver.solve(*machine, b_perm, x_perm, m);
     result.forward_time = fw.time();
     result.backward_time = bw.time();
+    accumulate_report(*machine, &result);
   }
 
   result.x.assign(b.size(), 0.0);

@@ -6,6 +6,7 @@
 // triangular solves).
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <span>
 #include <vector>
@@ -31,6 +32,13 @@ enum class OrderingMethod {
 enum class ExecutionBackend {
   simulated,  ///< simpar::Machine: deterministic cost-model clocks
   threads,    ///< exec::ThreadBackend: one std::thread per rank, wall clock
+  /// exec::CheckedBackend over the simulator: every phase is audited for
+  /// wildcard races, tag collisions, orphaned sends and deadlock cycles;
+  /// any finding raises AnalysisError.  Times remain the simulated times.
+  checked,
+  /// exec::CheckedBackend over the threaded backend: same audit on real
+  /// concurrent executions.
+  checked_threads,
 };
 
 struct Options {
@@ -99,6 +107,13 @@ struct ParallelSolveResult {
   double redist_time = 0.0;
   double forward_time = 0.0;
   double backward_time = 0.0;
+  /// Totals from the checked backend, summed over the three parallel
+  /// phases; all zero for the unchecked backends.  With a checked backend
+  /// any finding raises AnalysisError, so on normal return
+  /// analysis_findings is always 0 and checked_messages says how many
+  /// sends were audited.
+  std::int64_t analysis_findings = 0;
+  std::int64_t checked_messages = 0;
 
   double solve_time() const { return forward_time + backward_time; }
 };

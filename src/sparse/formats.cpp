@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <numeric>
 
+#include "common/checks.hpp"
 #include "common/error.hpp"
+#include "sparse/validate.hpp"
 
 namespace sparts::sparse {
 
@@ -116,24 +118,15 @@ SymmetricCsc::SymmetricCsc(index_t n, std::vector<nnz_t> colptr,
       colptr_(std::move(colptr)),
       rowind_(std::move(rowind)),
       values_(std::move(values)) {
+  // Shape checks are unconditional (downstream code indexes through
+  // colptr_); the O(nnz) sortedness/bounds validation is level-gated.
   SPARTS_CHECK(static_cast<index_t>(colptr_.size()) == n_ + 1,
                "colptr must have n+1 entries");
   SPARTS_CHECK(colptr_.front() == 0);
   SPARTS_CHECK(rowind_.size() == values_.size());
   SPARTS_CHECK(colptr_.back() == static_cast<nnz_t>(rowind_.size()));
-  for (index_t j = 0; j < n_; ++j) {
-    const nnz_t b = colptr_[static_cast<std::size_t>(j)];
-    const nnz_t e = colptr_[static_cast<std::size_t>(j) + 1];
-    SPARTS_CHECK(e > b, "column " << j << " is empty (diagonal missing)");
-    SPARTS_CHECK(rowind_[static_cast<std::size_t>(b)] == j,
-                 "first entry of column " << j << " must be the diagonal");
-    for (nnz_t p = b + 1; p < e; ++p) {
-      SPARTS_CHECK(rowind_[static_cast<std::size_t>(p)] >
-                       rowind_[static_cast<std::size_t>(p - 1)],
-                   "row indices must be strictly ascending in column " << j);
-      SPARTS_CHECK(rowind_[static_cast<std::size_t>(p)] < n_);
-    }
-  }
+  SPARTS_VALIDATE_CHEAP(validate_csc(n_, colptr_, rowind_,
+                                     static_cast<nnz_t>(values_.size())));
 }
 
 std::span<const index_t> SymmetricCsc::col_rows(index_t j) const {
@@ -231,7 +224,9 @@ Graph Graph::from_symmetric(const SymmetricCsc& a) {
               adjncy.begin() + static_cast<std::ptrdiff_t>(
                                    xadj[static_cast<std::size_t>(v) + 1]));
   }
-  return Graph(n, std::move(xadj), std::move(adjncy));
+  Graph g(n, std::move(xadj), std::move(adjncy));
+  SPARTS_VALIDATE_EXPENSIVE(validate_graph(g));
+  return g;
 }
 
 std::span<const index_t> Graph::neighbors(index_t v) const {

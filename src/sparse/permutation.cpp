@@ -17,9 +17,14 @@ Permutation::Permutation(std::vector<index_t> perm) : perm_(std::move(perm)) {
   iperm_.assign(static_cast<std::size_t>(n), -1);
   for (index_t k = 0; k < n; ++k) {
     const index_t old = perm_[static_cast<std::size_t>(k)];
-    SPARTS_CHECK(old >= 0 && old < n, "permutation entry out of range");
+    SPARTS_CHECK(old >= 0 && old < n,
+                 "[permutation-bijectivity] entry " << old << " at position "
+                     << k << " out of range [0, " << n << ")");
     SPARTS_CHECK(iperm_[static_cast<std::size_t>(old)] == -1,
-                 "permutation has duplicate entry " << old);
+                 "[permutation-bijectivity] duplicate entry "
+                     << old << " (positions "
+                     << iperm_[static_cast<std::size_t>(old)] << " and " << k
+                     << "); a permutation must be a bijection of 0..n-1");
     iperm_[static_cast<std::size_t>(old)] = k;
   }
 }

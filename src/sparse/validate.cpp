@@ -1,0 +1,71 @@
+#include "sparse/validate.hpp"
+
+#include "common/error.hpp"
+
+namespace sparts::sparse {
+
+void validate_csc(index_t n, std::span<const nnz_t> colptr,
+                  std::span<const index_t> rowind, nnz_t num_values) {
+  SPARTS_CHECK(n >= 0, "[csc-shape] matrix dimension must be non-negative");
+  SPARTS_CHECK(static_cast<index_t>(colptr.size()) == n + 1,
+               "[csc-shape] colptr must have n+1 = " << n + 1 << " entries, got "
+                                                    << colptr.size());
+  SPARTS_CHECK(colptr.front() == 0,
+               "[csc-shape] colptr[0] must be 0, got " << colptr.front());
+  SPARTS_CHECK(static_cast<nnz_t>(rowind.size()) == num_values,
+               "[csc-shape] rowind and values must have equal length ("
+                   << rowind.size() << " vs " << num_values << ")");
+  SPARTS_CHECK(colptr.back() == static_cast<nnz_t>(rowind.size()),
+               "[csc-shape] colptr[n] = " << colptr.back()
+                                          << " must equal nnz = "
+                                          << rowind.size());
+  for (index_t j = 0; j < n; ++j) {
+    const nnz_t b = colptr[static_cast<std::size_t>(j)];
+    const nnz_t e = colptr[static_cast<std::size_t>(j) + 1];
+    SPARTS_CHECK(e >= b, "[csc-shape] colptr must be non-decreasing; column "
+                             << j << " has colptr[j+1] < colptr[j]");
+    SPARTS_CHECK(e > b,
+                 "[csc-diagonal] column " << j << " is empty (diagonal "
+                                          << "entry missing)");
+    SPARTS_CHECK(rowind[static_cast<std::size_t>(b)] == j,
+                 "[csc-diagonal] first entry of column "
+                     << j << " must be the diagonal, got row "
+                     << rowind[static_cast<std::size_t>(b)]);
+    for (nnz_t p = b + 1; p < e; ++p) {
+      const index_t r = rowind[static_cast<std::size_t>(p)];
+      const index_t prev = rowind[static_cast<std::size_t>(p - 1)];
+      SPARTS_CHECK(r > prev, "[csc-sortedness] row indices must be strictly "
+                             "ascending within column "
+                                 << j << " (" << prev << " then " << r << ")");
+      SPARTS_CHECK(r >= 0 && r < n, "[csc-bounds] row index "
+                                        << r << " in column " << j
+                                        << " out of range [0, " << n << ")");
+    }
+  }
+}
+
+void validate_symmetric_csc(const SymmetricCsc& a) {
+  validate_csc(a.n(), a.colptr(), a.rowind(),
+               static_cast<nnz_t>(a.values().size()));
+}
+
+void validate_graph(const Graph& g) {
+  const index_t n = g.n();
+  nnz_t total = 0;
+  for (index_t v = 0; v < n; ++v) {
+    auto nbrs = g.neighbors(v);
+    total += static_cast<nnz_t>(nbrs.size());
+    for (const index_t u : nbrs) {
+      SPARTS_CHECK(u >= 0 && u < n, "[graph-bounds] neighbor "
+                                        << u << " of vertex " << v
+                                        << " out of range [0, " << n << ")");
+      SPARTS_CHECK(u != v,
+                   "[graph-shape] self loop at vertex " << v);
+    }
+  }
+  SPARTS_CHECK(total == 2 * g.num_edges(),
+               "[graph-shape] directed degree sum " << total
+                   << " must be twice the edge count " << g.num_edges());
+}
+
+}  // namespace sparts::sparse

@@ -1,0 +1,30 @@
+// Structural validators for the sparse containers (SPARTS_CHECKS system,
+// see common/checks.hpp).
+//
+// Every validator throws sparts::Error whose message contains a
+// bracketed tag naming the violated invariant — [csc-shape],
+// [csc-diagonal], [csc-sortedness], [csc-bounds], [graph-shape],
+// [graph-bounds] — so failures are machine-greppable in logs and CI.
+#pragma once
+
+#include <span>
+
+#include "common/types.hpp"
+#include "sparse/formats.hpp"
+
+namespace sparts::sparse {
+
+/// Validate raw lower-triangular CSC arrays: shape (n+1 colptr, monotone,
+/// counts consistent), diagonal-first columns, strictly ascending row
+/// indices, and row bounds.  O(nnz).
+void validate_csc(index_t n, std::span<const nnz_t> colptr,
+                  std::span<const index_t> rowind, nnz_t num_values);
+
+/// Validate an assembled SymmetricCsc (same invariants as validate_csc).
+void validate_symmetric_csc(const SymmetricCsc& a);
+
+/// Validate an adjacency Graph: monotone xadj, neighbor bounds, no self
+/// loops.  O(edges).
+void validate_graph(const Graph& g);
+
+}  // namespace sparts::sparse

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/checks.hpp"
 #include "common/error.hpp"
 
 namespace sparts::symbolic {
@@ -14,33 +15,54 @@ nnz_t SupernodePartition::total_block_entries() const {
 
 void SupernodePartition::check_consistent() const {
   const index_t nsup = num_supernodes();
-  SPARTS_CHECK(first_col.front() == 0);
-  SPARTS_CHECK(static_cast<index_t>(sup_of_col.size()) == n());
+  SPARTS_CHECK(first_col.front() == 0,
+               "[supernode-contiguity] first_col[0] must be 0");
+  SPARTS_CHECK(static_cast<index_t>(sup_of_col.size()) == n(),
+               "[supernode-contiguity] sup_of_col must cover all "
+                   << n() << " columns");
+  ordering::validate_etree(stree);
   for (index_t s = 0; s < nsup; ++s) {
-    SPARTS_CHECK(width(s) >= 1);
+    SPARTS_CHECK(width(s) >= 1,
+                 "[supernode-contiguity] supernode " << s << " is empty");
     auto ri = row_indices(s);
-    SPARTS_CHECK(static_cast<index_t>(ri.size()) >= width(s));
+    SPARTS_CHECK(static_cast<index_t>(ri.size()) >= width(s),
+                 "[supernode-structure] supernode "
+                     << s << " has fewer rows than columns");
     // First t rows are the supernode's own columns.
     for (index_t k = 0; k < width(s); ++k) {
       SPARTS_CHECK(ri[static_cast<std::size_t>(k)] ==
-                   first_col[static_cast<std::size_t>(s)] + k);
+                       first_col[static_cast<std::size_t>(s)] + k,
+                   "[supernode-contiguity] supernode "
+                       << s << " does not own its column block: row "
+                       << ri[static_cast<std::size_t>(k)] << " at position "
+                       << k);
     }
     // Rows ascending, remaining rows strictly below the supernode.
     for (std::size_t k = 1; k < ri.size(); ++k) {
-      SPARTS_CHECK(ri[k] > ri[k - 1]);
+      SPARTS_CHECK(ri[k] > ri[k - 1],
+                   "[supernode-structure] row indices of supernode "
+                       << s << " must be strictly ascending");
     }
     for (index_t j = first_col[static_cast<std::size_t>(s)];
          j < first_col[static_cast<std::size_t>(s) + 1]; ++j) {
-      SPARTS_CHECK(sup_of_col[static_cast<std::size_t>(j)] == s);
+      SPARTS_CHECK(sup_of_col[static_cast<std::size_t>(j)] == s,
+                   "[supernode-contiguity] column "
+                       << j << " not mapped to its supernode " << s);
     }
     // Parent supernode owns the first below-supernode row.
     const index_t parent = stree.parent[static_cast<std::size_t>(s)];
     if (static_cast<index_t>(ri.size()) > width(s)) {
-      SPARTS_CHECK(parent != -1);
+      SPARTS_CHECK(parent != -1,
+                   "[supernode-structure] supernode "
+                       << s << " has below-diagonal rows but no parent");
       const index_t below = ri[static_cast<std::size_t>(width(s))];
-      SPARTS_CHECK(sup_of_col[static_cast<std::size_t>(below)] == parent);
+      SPARTS_CHECK(sup_of_col[static_cast<std::size_t>(below)] == parent,
+                   "[supernode-structure] first below row of supernode "
+                       << s << " must land in its parent supernode");
     } else {
-      SPARTS_CHECK(parent == -1);
+      SPARTS_CHECK(parent == -1,
+                   "[supernode-structure] supernode "
+                       << s << " has a parent but no below-diagonal rows");
     }
   }
 }
@@ -114,6 +136,7 @@ SupernodePartition fundamental_supernodes(const SymbolicFactor& f) {
           p.sup_of_col[static_cast<std::size_t>(below)];
     }
   }
+  SPARTS_VALIDATE_EXPENSIVE(p.check_consistent());
   return p;
 }
 
@@ -233,6 +256,7 @@ SupernodePartition amalgamate(const SymbolicFactor& f,
           q.sup_of_col[static_cast<std::size_t>(below)];
     }
   }
+  SPARTS_VALIDATE_EXPENSIVE(q.check_consistent());
   return q;
 }
 

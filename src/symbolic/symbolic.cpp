@@ -2,11 +2,14 @@
 
 #include <algorithm>
 
+#include "common/checks.hpp"
 #include "common/error.hpp"
+#include "sparse/validate.hpp"
 
 namespace sparts::symbolic {
 
 SymbolicFactor symbolic_cholesky(const sparse::SymmetricCsc& a) {
+  SPARTS_VALIDATE_EXPENSIVE(sparse::validate_symmetric_csc(a));
   const index_t n = a.n();
   SymbolicFactor f;
   f.n = n;

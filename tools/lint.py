@@ -1,0 +1,204 @@
+#!/usr/bin/env python3
+"""SPARTS custom lint: project-specific C++ rules the generic tools miss.
+
+Rules (see docs/static_analysis.md):
+
+  raw-assert      <assert.h> assert() is compiled out by NDEBUG and prints
+                  no context.  Use SPARTS_CHECK (always on) or
+                  SPARTS_DCHECK (debug-only) from common/error.hpp.
+  naked-new       `new` outside a smart-pointer factory leaks on the first
+                  exception.  Use std::make_unique / containers.
+  untagged-send   A send with an integer-literal tag (src/ only).  The
+                  solver's message-passing discipline requires every
+                  in-flight message to have a unique (src, dst, tag), so
+                  tags must come from a named scheme or constant that the
+                  reader can audit — not from magic numbers.  Tests are
+                  exempt: micro-programs use literal tags deliberately.
+  narrowing-cast  C-style casts to integer types hide narrowing and
+                  signedness bugs.  Use static_cast, which clang-tidy and
+                  -Wconversion can then reason about.
+
+Suppress a finding by appending `// sparts-lint: allow(<rule>)` to the
+offending line.
+
+Usage:
+  tools/lint.py            # lint src/ tools/ tests/ relative to the repo root
+  tools/lint.py PATH...    # lint the given files or directories
+
+Exit status: 0 when clean, 1 when any finding is reported, 2 on usage error.
+No dependencies beyond the standard library.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import re
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+CXX_SUFFIXES = {".cpp", ".hpp", ".cc", ".h"}
+
+# Each rule: (name, regex on the comment/string-stripped line, message,
+# predicate on the repo-relative path).
+RULES = [
+    (
+        "raw-assert",
+        re.compile(r"\bassert\s*\("),
+        "use SPARTS_CHECK / SPARTS_DCHECK instead of raw assert()",
+        lambda rel: True,
+    ),
+    (
+        "naked-new",
+        re.compile(r"\bnew\b"),
+        "use std::make_unique or a container instead of naked new",
+        lambda rel: True,
+    ),
+    (
+        "untagged-send",
+        re.compile(
+            r"(?:\.|->)\s*send(?:_values\s*<[^<>]*>)?\s*\("
+            r"\s*[^,()]+,\s*[-+]?\d+\s*,"
+        ),
+        "message tag is an integer literal; derive tags from a named "
+        "scheme or constant (unique (src, dst, tag) per in-flight message)",
+        lambda rel: rel.parts[:1] == ("src",),
+    ),
+    (
+        "narrowing-cast",
+        re.compile(
+            r"\(\s*(?:int|long|short|unsigned|index_t|nnz_t|size_t|"
+            r"std::size_t|std::u?int(?:8|16|32|64)_t)\s*\)\s*[A-Za-z_0-9(]"
+        ),
+        "C-style cast to an integer type; use static_cast",
+        lambda rel: True,
+    ),
+]
+
+SUPPRESS = re.compile(r"//\s*sparts-lint:\s*allow\(([a-z-]+)\)")
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Replace comments and string/char literal bodies with spaces,
+    preserving line structure so findings keep their line numbers."""
+    out = []
+    i, n = 0, len(text)
+    state = "code"  # code | line_comment | block_comment | string | char
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                state = "string"
+                out.append(c)
+                i += 1
+                continue
+            if c == "'":
+                state = "char"
+                out.append(c)
+                i += 1
+                continue
+            out.append(c)
+        elif state == "line_comment":
+            if c == "\n":
+                state = "code"
+                out.append(c)
+            else:
+                out.append(" ")
+        elif state == "block_comment":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+                continue
+            out.append(c if c == "\n" else " ")
+        elif state in ("string", "char"):
+            quote = '"' if state == "string" else "'"
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == quote:
+                state = "code"
+                out.append(c)
+            elif c == "\n":  # unterminated; bail back to code
+                state = "code"
+                out.append(c)
+            else:
+                out.append(" ")
+        i += 1
+    return "".join(out)
+
+
+def lint_file(path: pathlib.Path) -> list[str]:
+    try:
+        rel = path.resolve().relative_to(REPO_ROOT)
+    except ValueError:
+        rel = path
+    raw_lines = path.read_text(encoding="utf-8").splitlines()
+    code_lines = strip_comments_and_strings(
+        path.read_text(encoding="utf-8")
+    ).splitlines()
+
+    findings = []
+    for lineno, (raw, code) in enumerate(zip(raw_lines, code_lines), start=1):
+        allowed = set(SUPPRESS.findall(raw))
+        for name, pattern, message, applies in RULES:
+            if not applies(rel):
+                continue
+            if name in allowed:
+                continue
+            if pattern.search(code):
+                findings.append(f"{rel}:{lineno}: [{name}] {message}")
+    return findings
+
+
+def collect_files(paths: list[pathlib.Path]) -> list[pathlib.Path]:
+    files = []
+    for p in paths:
+        if p.is_dir():
+            files.extend(
+                f for f in sorted(p.rglob("*")) if f.suffix in CXX_SUFFIXES
+            )
+        elif p.is_file():
+            files.append(p)
+        else:
+            print(f"lint.py: no such file or directory: {p}", file=sys.stderr)
+            sys.exit(2)
+    return files
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("paths", nargs="*", type=pathlib.Path,
+                        help="files or directories (default: src tools tests)")
+    args = parser.parse_args()
+
+    paths = args.paths or [REPO_ROOT / d for d in ("src", "tools", "tests")]
+    files = collect_files(paths)
+
+    findings = []
+    for f in files:
+        findings.extend(lint_file(f))
+
+    for line in findings:
+        print(line)
+    print(
+        f"lint.py: {len(files)} file(s), {len(findings)} finding(s)",
+        file=sys.stderr,
+    )
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -41,7 +41,11 @@ options:
   --procs P             run the distributed pipeline on P processors
                         (default 0 = sequential host solve)
   --backend NAME        sim (deterministic simulator, T3D cost model) |
-                        threads (one std::thread per rank)  (default sim)
+                        threads (one std::thread per rank) |
+                        checked (sim audited for races / tag collisions /
+                        orphaned sends / deadlock cycles; findings fail
+                        the run) | checked-threads (same audit over the
+                        threaded backend)  (default sim)
   --kernels NAME        tiled (cache-blocked dense kernels) | ref (naive
                         loops; conformance oracle)  (default: SPARTS_KERNELS
                         environment variable, else tiled)
@@ -56,6 +60,10 @@ options:
 solver::ExecutionBackend parse_backend(const std::string& s) {
   if (s == "sim") return solver::ExecutionBackend::simulated;
   if (s == "threads") return solver::ExecutionBackend::threads;
+  if (s == "checked") return solver::ExecutionBackend::checked;
+  if (s == "checked-threads") {
+    return solver::ExecutionBackend::checked_threads;
+  }
   throw InvalidArgument("unknown backend: " + s);
 }
 
@@ -158,7 +166,11 @@ int main(int argc, char** argv) {
       // Distributed pipeline on the selected exec backend.
       const auto result = solver::parallel_solve(a, b, nrhs, procs, options);
       const bool sim =
-          options.backend == solver::ExecutionBackend::simulated;
+          options.backend == solver::ExecutionBackend::simulated ||
+          options.backend == solver::ExecutionBackend::checked;
+      const bool checked =
+          options.backend == solver::ExecutionBackend::checked ||
+          options.backend == solver::ExecutionBackend::checked_threads;
       std::cout << (sim ? "\nsimulated machine: " : "\nthread backend: ")
                 << procs
                 << (sim ? " processors (T3D cost model)\n"
@@ -171,6 +183,11 @@ int main(int argc, char** argv) {
                 << format_fixed(result.forward_time, 4) << " s\n"
                 << "  backward solve "
                 << format_fixed(result.backward_time, 4) << " s\n";
+      if (checked) {
+        std::cout << "message audit:   " << result.checked_messages
+                  << " sends checked, " << result.analysis_findings
+                  << " findings\n";
+      }
       const real_t resid =
           trisolve::relative_residual(a, result.x, b, nrhs);
       std::cout << "relative residual: " << resid << "\n";
