@@ -23,7 +23,10 @@
 namespace sparts::bench {
 namespace {
 
-/// Forward+backward wall/virtual time of one solve on `comm`.
+/// Forward+backward wall/virtual time of one solve on `comm`.  Each
+/// substitution phase is bracketed with the phase profiler, so the JSON
+/// emitter's "phases" array carries the per-phase times and per-rank
+/// compute/send/idle splits behind every table cell.
 double solve_time(const PreparedProblem& prob, exec::Comm& comm, index_t m) {
   const mapping::SubcubeMapping map =
       mapping::subtree_to_subcube(prob.part, comm.nprocs());
@@ -32,11 +35,24 @@ double solve_time(const PreparedProblem& prob, exec::Comm& comm, index_t m) {
   Rng rng(1234);
   std::vector<real_t> b = sparse::random_rhs(n, m, rng);
   std::vector<real_t> x(static_cast<std::size_t>(n * m), 0.0);
-  auto [fw, bw] = solver.solve(comm, b, x, m);
-  return fw.time() + bw.time();
+  std::vector<real_t> y(static_cast<std::size_t>(n * m), 0.0);
+  double fw_time = 0.0, bw_time = 0.0;
+  {
+    obs::PhaseScope phase("forward");
+    const partrisolve::PhaseReport fw = solver.forward(comm, b, y, m);
+    phase.set_parallel(exec::to_phase_stats(fw.stats));
+    fw_time = fw.time();
+  }
+  {
+    obs::PhaseScope phase("backward");
+    const partrisolve::PhaseReport bw = solver.backward(comm, y, x, m);
+    phase.set_parallel(exec::to_phase_stats(bw.stats));
+    bw_time = bw.time();
+  }
+  return fw_time + bw_time;
 }
 
-void run_grid(index_t k, index_t m) {
+void run_grid(index_t k, index_t m, BenchJson& json) {
   PreparedProblem prob = prepare_grid(k, k);
   std::cout << "\nworkload: " << prob.description << "  N = " << prob.a.n()
             << "  nrhs = " << m << "  nnz(L) = " << prob.factor_nnz
@@ -84,6 +100,17 @@ void run_grid(index_t k, index_t m) {
     table.add(exec::speedup(wall1, wall_tiled), 2);
     table.add(sim, 5);
     table.add(exec::speedup(sim1, sim), 2);
+    json.row()
+        .field("workload", prob.description)
+        .field("n", prob.a.n())
+        .field("nrhs", m)
+        .field("p", p)
+        .field("wall_ref_seconds", wall_ref)
+        .field("wall_tiled_seconds", wall_tiled)
+        .field("kernel_gain", exec::speedup(wall_ref, wall_tiled))
+        .field("wall_speedup", exec::speedup(wall1, wall_tiled))
+        .field("sim_seconds", sim)
+        .field("sim_speedup", exec::speedup(sim1, sim));
   }
   std::cout << table;
 }
@@ -93,8 +120,10 @@ void run() {
                "threaded backend wall clock vs simulator prediction");
   const double scale = bench_scale();
   const index_t k = std::max<index_t>(15, static_cast<index_t>(127 * scale));
-  run_grid(k, 30);
-  run_grid(k, 1);
+  BenchJson json("real_vs_sim", "SPARTS_BENCH_REAL_VS_SIM_JSON");
+  run_grid(k, 30, json);
+  run_grid(k, 1, json);
+  json.write();
   std::cout << "\nReading: 'kern gain' is wall clock with reference kernels "
                "over tiled kernels\n(same program, same thread count); 'wall "
                "speedup' is real concurrency on this\nhost (ceiling = "

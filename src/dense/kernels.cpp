@@ -9,12 +9,14 @@
 #include "dense/kernels.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <string>
 
 #include "common/error.hpp"
 #include "dense/kernels_ref.hpp"
 #include "dense/kernels_tiled.hpp"
+#include "obs/metrics.hpp"
 
 namespace sparts::dense {
 
@@ -53,6 +55,32 @@ const detail::TiledKernels& tiled() {
     return detail::tiled_portable_kernels();
   }();
   return table;
+}
+
+/// Call/flop/wall-time counters for one kernel entry point, resolved from
+/// the registry once per process ("kernel.<name>.calls" etc.).  Sites pay
+/// for the lookup only on their first metered call.
+struct KernelCounters {
+  obs::Counter& calls;
+  obs::Counter& flops;
+  obs::Counter& nanos;
+  explicit KernelCounters(const std::string& name)
+      : calls(obs::metrics().counter("kernel." + name + ".calls")),
+        flops(obs::metrics().counter("kernel." + name + ".flops")),
+        nanos(obs::metrics().counter("kernel." + name + ".nanos")) {}
+
+  void record(std::chrono::steady_clock::time_point t0, nnz_t flop_count) {
+    const auto dt = std::chrono::steady_clock::now() - t0;
+    calls.add();
+    flops.add(flop_count);
+    nanos.add(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(dt).count());
+  }
+};
+
+std::chrono::steady_clock::time_point metered_start(bool metered) {
+  return metered ? std::chrono::steady_clock::now()
+                 : std::chrono::steady_clock::time_point{};
 }
 
 }  // namespace
@@ -156,59 +184,95 @@ void syrk_lower(const Matrix& a, Matrix& c) {
 void panel_gemm(index_t m, index_t n, index_t k, real_t alpha, const real_t* a,
                 index_t lda, const real_t* b, index_t ldb, real_t* c,
                 index_t ldc) {
+  const bool metered = obs::metrics_enabled();
+  const auto t0 = metered_start(metered);
   if (kernel_impl() == KernelImpl::reference) {
     ref::panel_gemm(m, n, k, alpha, a, lda, b, ldb, c, ldc);
   } else {
     tiled().panel_gemm(m, n, k, alpha, a, lda, b, ldb, c, ldc);
+  }
+  if (metered) {
+    static KernelCounters mc("panel_gemm");
+    mc.record(t0, gemm_flops(m, n, k));
   }
 }
 
 void panel_gemm_at(index_t m, index_t n, index_t k, real_t alpha,
                    const real_t* a, index_t lda, const real_t* b, index_t ldb,
                    real_t* c, index_t ldc) {
+  const bool metered = obs::metrics_enabled();
+  const auto t0 = metered_start(metered);
   if (kernel_impl() == KernelImpl::reference) {
     ref::panel_gemm_at(m, n, k, alpha, a, lda, b, ldb, c, ldc);
   } else {
     tiled().panel_gemm_at(m, n, k, alpha, a, lda, b, ldb, c, ldc);
   }
+  if (metered) {
+    static KernelCounters mc("panel_gemm_at");
+    mc.record(t0, gemm_flops(m, n, k));
+  }
 }
 
 nnz_t panel_trsm_lower(index_t t, index_t n, const real_t* l, index_t ldl,
                        real_t* b, index_t ldb) {
+  const bool metered = obs::metrics_enabled();
+  const auto t0 = metered_start(metered);
   if (kernel_impl() == KernelImpl::reference) {
     ref::panel_trsm_lower(t, n, l, ldl, b, ldb);
   } else {
     tiled().panel_trsm_lower(t, n, l, ldl, b, ldb);
+  }
+  if (metered) {
+    static KernelCounters mc("panel_trsm_lower");
+    mc.record(t0, trsm_panel_flops(t, n));
   }
   return trsm_panel_flops(t, n);
 }
 
 nnz_t panel_trsm_lower_transposed(index_t t, index_t n, const real_t* l,
                                   index_t ldl, real_t* b, index_t ldb) {
+  const bool metered = obs::metrics_enabled();
+  const auto t0 = metered_start(metered);
   if (kernel_impl() == KernelImpl::reference) {
     ref::panel_trsm_lower_transposed(t, n, l, ldl, b, ldb);
   } else {
     tiled().panel_trsm_lower_transposed(t, n, l, ldl, b, ldb);
+  }
+  if (metered) {
+    static KernelCounters mc("panel_trsm_lower_transposed");
+    mc.record(t0, trsm_panel_flops(t, n));
   }
   return trsm_panel_flops(t, n);
 }
 
 nnz_t panel_trsm_right_lt(index_t m, index_t k, const real_t* l, index_t ldl,
                           real_t* x, index_t ldx) {
+  const bool metered = obs::metrics_enabled();
+  const auto t0 = metered_start(metered);
   if (kernel_impl() == KernelImpl::reference) {
     ref::panel_trsm_right_lt(m, k, l, ldl, x, ldx);
   } else {
     tiled().panel_trsm_right_lt(m, k, l, ldl, x, ldx);
+  }
+  if (metered) {
+    static KernelCounters mc("panel_trsm_right_lt");
+    mc.record(t0, trsm_right_lt_flops(m, k));
   }
   return trsm_right_lt_flops(m, k);
 }
 
 nnz_t panel_cholesky(index_t m, index_t t, real_t* a, index_t lda) {
   SPARTS_CHECK(m >= t, "panel must have at least t rows");
+  const bool metered = obs::metrics_enabled();
+  const auto t0 = metered_start(metered);
   if (kernel_impl() == KernelImpl::reference) {
     ref::panel_cholesky(m, t, a, lda, /*col_offset=*/0);
   } else {
     tiled().panel_cholesky(m, t, a, lda);
+  }
+  if (metered) {
+    static KernelCounters mc("panel_cholesky");
+    mc.record(t0, cholesky_panel_flops(m, t));
   }
   return cholesky_panel_flops(m, t);
 }
@@ -216,10 +280,16 @@ nnz_t panel_cholesky(index_t m, index_t t, real_t* a, index_t lda) {
 void panel_syrk(index_t m, index_t n, index_t k, const real_t* a, index_t lda,
                 const real_t* a2, index_t lda2, real_t* c, index_t ldc,
                 bool lower_only) {
+  const bool metered = obs::metrics_enabled();
+  const auto t0 = metered_start(metered);
   if (kernel_impl() == KernelImpl::reference) {
     ref::panel_syrk(m, n, k, a, lda, a2, lda2, c, ldc, lower_only);
   } else {
     tiled().panel_syrk(m, n, k, a, lda, a2, lda2, c, ldc, lower_only);
+  }
+  if (metered) {
+    static KernelCounters mc("panel_syrk");
+    mc.record(t0, syrk_flops(m, n, k, lower_only));
   }
 }
 

@@ -8,6 +8,8 @@
 #include <sstream>
 #include <utility>
 
+#include "obs/trace.hpp"
+
 namespace sparts::exec {
 
 namespace {
@@ -84,6 +86,7 @@ struct CheckedBackend::Checker {
     int tag = 0;
     index_t matched_src = -1;
     Clock matched_clock;
+    double ts = -1.0;  ///< backend-local clock of the match
   };
 
   using EdgeKey = std::tuple<index_t, index_t, int>;  ///< (src, dst, tag)
@@ -121,8 +124,20 @@ struct CheckedBackend::Checker {
   std::map<std::tuple<Finding::Kind, index_t, index_t, int>, Finding> findings;
   AnalysisReport report;
 
+  /// `ts` is the reporting rank's backend-local clock at detection time,
+  /// or a negative value when no rank clock applies (post-run passes);
+  /// those findings land at the current end of the trace timeline.
   void record(Finding::Kind kind, index_t src, index_t dst, int tag,
-              const std::string& detail) {
+              const std::string& detail, double ts = -1.0) {
+    if (obs::Tracer::enabled()) {
+      auto& tracer = obs::Tracer::instance();
+      const double when =
+          ts >= 0.0 ? tracer.to_timeline(ts) : tracer.timeline();
+      tracer.record(static_cast<std::int32_t>(dst), obs::EventKind::instant,
+                    obs::Category::check, to_string(kind), when,
+                    static_cast<std::int64_t>(src),
+                    static_cast<std::int64_t>(tag));
+    }
     auto key = std::make_tuple(kind, src, dst, tag);
     auto it = findings.find(key);
     if (it != findings.end()) {
@@ -142,7 +157,8 @@ struct CheckedBackend::Checker {
     t.push_back(std::move(line));
   }
 
-  void on_send(index_t rank, index_t dst, int tag, std::size_t bytes) {
+  void on_send(index_t rank, index_t dst, int tag, std::size_t bytes,
+               double ts = -1.0) {
     std::lock_guard<std::mutex> lock(mutex);
     Clock& c = clocks[static_cast<std::size_t>(rank)];
     ++c[static_cast<std::size_t>(rank)];
@@ -156,7 +172,7 @@ struct CheckedBackend::Checker {
           << " while " << fifo.size()
           << " earlier message(s) on the same (src, dst, tag) edge were "
              "still in flight; the tag no longer identifies a unique message";
-      record(Finding::Kind::tag_collision, rank, dst, tag, oss.str());
+      record(Finding::Kind::tag_collision, rank, dst, tag, oss.str(), ts);
     }
     fifo.push_back(SendRecord{c, bytes});
     ++pending_sources[SinkKey{dst, tag}][rank];
@@ -188,7 +204,8 @@ struct CheckedBackend::Checker {
   }
 
   void on_recv_matched(index_t rank, index_t requested_src, int tag,
-                       index_t actual_src, std::size_t bytes) {
+                       index_t actual_src, std::size_t bytes,
+                       double ts = -1.0) {
     std::lock_guard<std::mutex> lock(mutex);
     blocked_on[static_cast<std::size_t>(rank)].reset();
     ++report.recvs;
@@ -223,7 +240,7 @@ struct CheckedBackend::Checker {
               << " with the same tag was also pending; the match is "
                  "schedule-dependent";
           record(Finding::Kind::wildcard_race, other_src, rank, tag,
-                 oss.str());
+                 oss.str(), ts);
         }
       }
       if (ps->second.empty()) pending_sources.erase(ps);
@@ -232,7 +249,7 @@ struct CheckedBackend::Checker {
     if (requested_src == kAnySource) {
       ++report.wildcard_recvs;
       wildcard_matches.push_back(
-          WildcardMatch{rank, tag, actual_src, rec.clock});
+          WildcardMatch{rank, tag, actual_src, rec.clock, ts});
     }
 
     // Receive event: tick own component, then join the sender's clock.
@@ -353,7 +370,8 @@ struct CheckedBackend::Checker {
             << " with the same tag is concurrent with the matched send "
                "(vector clocks incomparable); another schedule can deliver "
                "the other message first";
-        record(Finding::Kind::wildcard_race, src, m.dst, m.tag, oss.str());
+        record(Finding::Kind::wildcard_race, src, m.dst, m.tag, oss.str(),
+               m.ts);
       }
     }
 
@@ -386,7 +404,8 @@ class CheckedBackend::CheckedProcess final : public Process {
 
   void send(index_t dst, int tag, std::span<const std::byte> payload) override {
     // Record before forwarding so the receiver always finds the record.
-    checker_->on_send(inner_->rank(), dst, tag, payload.size());
+    const double ts = obs::Tracer::enabled() ? inner_->now() : -1.0;
+    checker_->on_send(inner_->rank(), dst, tag, payload.size(), ts);
     inner_->send(dst, tag, payload);
   }
 
@@ -400,7 +419,9 @@ class CheckedBackend::CheckedProcess final : public Process {
       checker_->on_deadlock(self);
       throw;
     }
-    checker_->on_recv_matched(self, src, tag, msg.source, msg.payload.size());
+    const double ts = obs::Tracer::enabled() ? inner_->now() : -1.0;
+    checker_->on_recv_matched(self, src, tag, msg.source, msg.payload.size(),
+                              ts);
     return msg;
   }
 

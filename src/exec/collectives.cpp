@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "common/error.hpp"
+#include "obs/span.hpp"
 
 namespace sparts::exec {
 
@@ -71,6 +72,9 @@ std::vector<Packet> deserialize(std::span<const std::byte> bytes) {
 void broadcast(Process& proc, const Group& g, std::vector<real_t>& data,
                int tag) {
   const index_t q = g.count;
+  SPARTS_TRACE_SPAN(proc, obs::Category::collective, "broadcast",
+                    static_cast<std::int64_t>(data.size()),
+                    static_cast<std::int64_t>(q));
   if (q == 1) return;
   const index_t logq = log2_exact(q);
   const index_t me = g.local(proc.rank());
@@ -94,6 +98,9 @@ void broadcast(Process& proc, const Group& g, std::vector<real_t>& data,
 void broadcast_from(Process& proc, const Group& g, index_t root,
                     std::vector<real_t>& data, int tag) {
   const index_t q = g.count;
+  SPARTS_TRACE_SPAN(proc, obs::Category::collective, "broadcast_from",
+                    static_cast<std::int64_t>(data.size()),
+                    static_cast<std::int64_t>(q));
   if (q == 1) return;
   SPARTS_CHECK(root >= 0 && root < q, "broadcast root out of group");
   const index_t logq = log2_exact(q);
@@ -125,6 +132,9 @@ std::vector<std::vector<real_t>> allgather(Process& proc, const Group& g,
                                            std::vector<real_t> mine,
                                            int tag) {
   const index_t q = g.count;
+  SPARTS_TRACE_SPAN(proc, obs::Category::collective, "allgather",
+                    static_cast<std::int64_t>(mine.size()),
+                    static_cast<std::int64_t>(q));
   const index_t me = g.local(proc.rank());
   std::vector<std::vector<real_t>> result(static_cast<std::size_t>(q));
   result[static_cast<std::size_t>(me)] = std::move(mine);
@@ -150,6 +160,9 @@ std::vector<std::vector<real_t>> allgather(Process& proc, const Group& g,
 void reduce_sum(Process& proc, const Group& g, std::vector<real_t>& data,
                 int tag) {
   const index_t q = g.count;
+  SPARTS_TRACE_SPAN(proc, obs::Category::collective, "reduce_sum",
+                    static_cast<std::int64_t>(data.size()),
+                    static_cast<std::int64_t>(q));
   if (q == 1) return;
   const index_t logq = log2_exact(q);
   const index_t me = g.local(proc.rank());
@@ -175,6 +188,9 @@ void reduce_sum(Process& proc, const Group& g, std::vector<real_t>& data,
 void reduce_sum_to(Process& proc, const Group& g, index_t root,
                    std::vector<real_t>& data, int tag) {
   const index_t q = g.count;
+  SPARTS_TRACE_SPAN(proc, obs::Category::collective, "reduce_sum_to",
+                    static_cast<std::int64_t>(data.size()),
+                    static_cast<std::int64_t>(q));
   if (q == 1) return;
   SPARTS_CHECK(root >= 0 && root < q, "reduce root out of group");
   const index_t logq = log2_exact(q);
@@ -199,11 +215,16 @@ void reduce_sum_to(Process& proc, const Group& g, index_t root,
 
 void allreduce_sum(Process& proc, const Group& g, std::vector<real_t>& data,
                    int tag) {
+  SPARTS_TRACE_SPAN(proc, obs::Category::collective, "allreduce_sum",
+                    static_cast<std::int64_t>(data.size()),
+                    static_cast<std::int64_t>(g.count));
   reduce_sum(proc, g, data, tag);
   broadcast(proc, g, data, tag + 1);
 }
 
 void barrier(Process& proc, const Group& g, int tag) {
+  SPARTS_TRACE_SPAN(proc, obs::Category::collective, "barrier", 0,
+                    static_cast<std::int64_t>(g.count));
   std::vector<real_t> token(1, 0.0);
   allreduce_sum(proc, g, token, tag);
 }
@@ -214,6 +235,12 @@ std::vector<std::vector<real_t>> all_to_all_personalized(
   const index_t q = g.count;
   SPARTS_CHECK(static_cast<index_t>(outgoing.size()) == q,
                "need one outgoing buffer per group rank");
+  std::int64_t out_words = 0;
+  for (const auto& v : outgoing) {
+    out_words += static_cast<std::int64_t>(v.size());
+  }
+  SPARTS_TRACE_SPAN(proc, obs::Category::collective, "all_to_all_personalized",
+                    out_words, static_cast<std::int64_t>(q));
   const index_t me = g.local(proc.rank());
   SPARTS_CHECK(me >= 0 && me < q, "rank not in group");
 
@@ -265,6 +292,9 @@ std::vector<std::vector<real_t>> all_to_all_personalized(
 std::vector<std::vector<real_t>> gather(Process& proc, const Group& g,
                                         std::vector<real_t> mine, int tag) {
   const index_t q = g.count;
+  SPARTS_TRACE_SPAN(proc, obs::Category::collective, "gather",
+                    static_cast<std::int64_t>(mine.size()),
+                    static_cast<std::int64_t>(q));
   const index_t me = g.local(proc.rank());
   SPARTS_CHECK(me >= 0 && me < q, "rank not in group");
 

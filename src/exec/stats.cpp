@@ -28,6 +28,12 @@ nnz_t RunStats::total_words() const {
   return w;
 }
 
+nnz_t RunStats::total_messages_received() const {
+  nnz_t m = 0;
+  for (const auto& p : procs) m += p.messages_received;
+  return m;
+}
+
 double RunStats::efficiency() const {
   const double tp = parallel_time();
   if (tp <= 0.0 || procs.empty()) return 1.0;
@@ -44,6 +50,21 @@ double speedup(double t_serial, double t_parallel) {
 double efficiency(double t_serial, index_t p, double t_parallel) {
   if (t_parallel <= 0.0 || p <= 0) return 0.0;
   return t_serial / (static_cast<double>(p) * t_parallel);
+}
+
+obs::ParallelPhaseStats to_phase_stats(const RunStats& rs) {
+  obs::ParallelPhaseStats ps;
+  ps.procs = static_cast<int>(rs.procs.size());
+  ps.parallel_time = rs.parallel_time();
+  ps.flops = rs.total_flops();
+  ps.messages = rs.total_messages();
+  ps.words = rs.total_words();
+  for (const auto& pr : rs.procs) {
+    ps.compute_time.push_back(pr.compute_time);
+    ps.send_time.push_back(pr.send_time);
+    ps.idle_time.push_back(pr.idle_time);
+  }
+  return ps;
 }
 
 }  // namespace sparts::exec

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/types.hpp"
+#include "obs/phase.hpp"
 
 namespace sparts::exec {
 
@@ -26,6 +27,8 @@ struct ProcStats {
   nnz_t flops = 0;
   nnz_t messages_sent = 0;
   nnz_t words_sent = 0;
+  nnz_t messages_received = 0;
+  nnz_t words_received = 0;
 };
 
 /// Aggregated statistics of a run.
@@ -40,6 +43,9 @@ struct RunStats {
   nnz_t total_messages() const;
   /// Total words across all processors.
   nnz_t total_words() const;
+  /// Total received messages across all processors.  In a closed run
+  /// (every send matched by a recv) this equals total_messages().
+  nnz_t total_messages_received() const;
   /// sum(compute_time) / (p * parallel_time)
   double efficiency() const;
 };
@@ -51,5 +57,9 @@ double speedup(double t_serial, double t_parallel);
 /// run against a serial baseline.  Every bench table reports this; keep the
 /// formula here instead of re-deriving it per bench.
 double efficiency(double t_serial, index_t p, double t_parallel);
+
+/// Flatten a RunStats into the POD the phase profiler consumes
+/// (obs/ cannot depend on exec/, so the adapter lives here).
+obs::ParallelPhaseStats to_phase_stats(const RunStats& rs);
 
 }  // namespace sparts::exec

@@ -4,6 +4,9 @@
 #include <thread>
 #include <utility>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace sparts::exec {
 
 namespace {
@@ -61,6 +64,20 @@ class ThreadBackend::RankProcess final : public Process {
     ++stats_.messages_sent;
     stats_.words_sent += static_cast<nnz_t>(
         (payload.size() + sizeof(real_t) - 1) / sizeof(real_t));
+    if (obs::Tracer::enabled()) {
+      auto& tracer = obs::Tracer::instance();
+      const auto r32 = static_cast<std::int32_t>(rank_);
+      tracer.record_local(r32, obs::EventKind::span_begin, obs::Category::comm,
+                          "send", seconds_between(backend_->epoch_, t0),
+                          static_cast<std::int64_t>(payload.size()),
+                          static_cast<std::int64_t>(dst));
+      tracer.record_local(r32, obs::EventKind::span_end, obs::Category::comm,
+                          "send", seconds_between(backend_->epoch_, t1));
+    }
+    if (obs::metrics_enabled()) {
+      obs::metrics().histogram("comm.message_bytes")
+          .observe(static_cast<std::int64_t>(payload.size()));
+    }
   }
 
   ReceivedMessage recv(index_t src, int tag) override {
@@ -71,6 +88,19 @@ class ThreadBackend::RankProcess final : public Process {
     const Clock::time_point t1 = Clock::now();
     stats_.idle_time += seconds_between(t0, t1);
     last_mark_ = t1;
+    ++stats_.messages_received;
+    stats_.words_received += static_cast<nnz_t>(
+        (msg.payload.size() + sizeof(real_t) - 1) / sizeof(real_t));
+    if (obs::Tracer::enabled()) {
+      auto& tracer = obs::Tracer::instance();
+      const auto r32 = static_cast<std::int32_t>(rank_);
+      tracer.record_local(r32, obs::EventKind::span_begin, obs::Category::comm,
+                          "recv", seconds_between(backend_->epoch_, t0),
+                          static_cast<std::int64_t>(msg.payload.size()),
+                          static_cast<std::int64_t>(msg.src));
+      tracer.record_local(r32, obs::EventKind::span_end, obs::Category::comm,
+                          "recv", seconds_between(backend_->epoch_, t1));
+    }
     return ReceivedMessage{msg.src, msg.tag, std::move(msg.payload)};
   }
 
@@ -182,6 +212,7 @@ RunStats ThreadBackend::run(const std::function<void(Process&)>& spmd) {
   active_.store(config_.nprocs, std::memory_order_release);
   std::vector<ProcStats> stats(static_cast<std::size_t>(config_.nprocs));
   epoch_ = Clock::now();
+  if (obs::Tracer::enabled()) obs::Tracer::instance().begin_run();
 
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(config_.nprocs));
@@ -226,6 +257,9 @@ RunStats ThreadBackend::run(const std::function<void(Process&)>& spmd) {
 
   RunStats out;
   out.procs = std::move(stats);
+  if (obs::Tracer::enabled()) {
+    obs::Tracer::instance().end_run(out.parallel_time());
+  }
   return out;
 }
 

@@ -1,0 +1,186 @@
+#include "obs/metrics.hpp"
+
+#include <bit>
+#include <map>
+#include <mutex>
+#include <ostream>
+
+namespace sparts::obs {
+
+namespace {
+
+std::atomic<bool> g_metrics_enabled{false};
+
+void write_escaped(std::ostream& out, const std::string& s) {
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out << '\\';
+    out << c;
+  }
+}
+
+}  // namespace
+
+bool metrics_enabled() {
+  return g_metrics_enabled.load(std::memory_order_relaxed);
+}
+void enable_metrics() {
+  g_metrics_enabled.store(true, std::memory_order_release);
+}
+void disable_metrics() {
+  g_metrics_enabled.store(false, std::memory_order_release);
+}
+
+// ---------------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------------
+
+int Histogram::bucket_of(std::int64_t value) {
+  if (value <= 0) return 0;
+  // Bucket i covers (2^(i-2), 2^(i-1)] for i >= 2; bucket 1 is exactly 1.
+  const int width = std::bit_width(static_cast<std::uint64_t>(value));
+  const bool pow2 = (value & (value - 1)) == 0;
+  const int bucket = pow2 ? width : width + 1;
+  return bucket < kBuckets ? bucket : kBuckets - 1;
+}
+
+std::int64_t Histogram::bucket_bound(int bucket) {
+  if (bucket <= 0) return 0;
+  return std::int64_t{1} << (bucket - 1);
+}
+
+void Histogram::observe(std::int64_t value) {
+  buckets_[static_cast<std::size_t>(bucket_of(value))].fetch_add(
+      1, std::memory_order_relaxed);
+  const std::int64_t n = count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  if (n == 0) {
+    // First observation seeds min/max; races with concurrent first
+    // observations resolve through the CAS loops below.
+    min_.store(value, std::memory_order_relaxed);
+    max_.store(value, std::memory_order_relaxed);
+    return;
+  }
+  std::int64_t cur = min_.load(std::memory_order_relaxed);
+  while (value < cur &&
+         !min_.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+  cur = max_.load(std::memory_order_relaxed);
+  while (value > cur &&
+         !max_.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+std::int64_t Histogram::min() const {
+  return count() == 0 ? 0 : min_.load(std::memory_order_relaxed);
+}
+
+std::int64_t Histogram::max() const {
+  return count() == 0 ? 0 : max_.load(std::memory_order_relaxed);
+}
+
+std::int64_t Histogram::bucket_count(int bucket) const {
+  if (bucket < 0 || bucket >= kBuckets) return 0;
+  return buckets_[static_cast<std::size_t>(bucket)].load(
+      std::memory_order_relaxed);
+}
+
+void Histogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(0, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+struct Registry::Impl {
+  mutable std::mutex mutex;
+  // node-based maps: references to mapped instruments stay valid forever.
+  std::map<std::string, Counter> counters;
+  std::map<std::string, Gauge> gauges;
+  std::map<std::string, Histogram> histograms;
+};
+
+Registry::Registry() : impl_(std::make_unique<Impl>()) {}
+
+Registry::~Registry() = default;
+
+Registry& Registry::instance() {
+  static Registry registry;
+  return registry;
+}
+
+Counter& Registry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  return impl_->counters[name];
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  return impl_->gauges[name];
+}
+
+Histogram& Registry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  return impl_->histograms[name];
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  for (auto& [name, c] : impl_->counters) c.reset();
+  for (auto& [name, g] : impl_->gauges) g.reset();
+  for (auto& [name, h] : impl_->histograms) h.reset();
+}
+
+void Registry::write_json(std::ostream& out, int indent) const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  const std::string pad(static_cast<std::size_t>(indent), ' ');
+
+  out << pad << "{\n";
+  out << pad << "  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : impl_->counters) {
+    out << (first ? "\n" : ",\n") << pad << "    \"";
+    write_escaped(out, name);
+    out << "\": " << c.value();
+    first = false;
+  }
+  out << (first ? "" : "\n" + pad + "  ") << "},\n";
+
+  out << pad << "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : impl_->gauges) {
+    out << (first ? "\n" : ",\n") << pad << "    \"";
+    write_escaped(out, name);
+    out << "\": " << g.value();
+    first = false;
+  }
+  out << (first ? "" : "\n" + pad + "  ") << "},\n";
+
+  out << pad << "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : impl_->histograms) {
+    out << (first ? "\n" : ",\n") << pad << "    \"";
+    write_escaped(out, name);
+    out << "\": {\"count\": " << h.count() << ", \"sum\": " << h.sum()
+        << ", \"min\": " << h.min() << ", \"max\": " << h.max()
+        << ", \"buckets\": {";
+    bool bfirst = true;
+    for (int b = 0; b < Histogram::kBuckets; ++b) {
+      const std::int64_t n = h.bucket_count(b);
+      if (n == 0) continue;
+      if (!bfirst) out << ", ";
+      out << "\"le_" << Histogram::bucket_bound(b) << "\": " << n;
+      bfirst = false;
+    }
+    out << "}}";
+    first = false;
+  }
+  out << (first ? "" : "\n" + pad + "  ") << "}\n";
+  out << pad << "}";
+}
+
+}  // namespace sparts::obs

@@ -1,0 +1,117 @@
+// Process-wide metrics registry: counters, gauges, and log-scale
+// histograms, exportable as JSON.
+//
+// Intended use: hot paths (backend send/recv, the dense kernel dispatch)
+// obtain their instruments once — `static Counter& c = metrics().counter(
+// "kernel.panel_gemm.calls");` — and update them with single relaxed
+// atomic operations, guarded by metrics_enabled() so a disabled registry
+// costs one atomic load and a branch per site.  Aggregation points (the
+// phase profiler, the solver driver) update gauges at phase boundaries.
+//
+// Instruments live for the process lifetime; references returned by the
+// registry never dangle.  All updates are thread-safe.
+//
+// Histograms use base-2 buckets with inclusive upper bounds 0, 1, 2, 4,
+// 8, ...: an observation lands in the smallest bucket whose bound is >=
+// the value.  That makes them natural for message-size distributions (the
+// paper's communication terms are per-word) and per-call flop counts:
+// each bucket is "messages of roughly this magnitude".
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+namespace sparts::obs {
+
+/// True when some caller enabled metrics collection.
+bool metrics_enabled();
+void enable_metrics();
+void disable_metrics();
+
+class Counter {
+ public:
+  void add(std::int64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::int64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { set(0.0); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+class Histogram {
+ public:
+  /// 2^62 overflows anything this library measures.
+  static constexpr int kBuckets = 63;
+
+  void observe(std::int64_t value);
+
+  std::int64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  std::int64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  std::int64_t min() const;  ///< 0 when empty
+  std::int64_t max() const;  ///< 0 when empty
+  std::int64_t bucket_count(int bucket) const;
+  /// Upper bound (inclusive) of a bucket: 0, 1, 2, 4, 8, ...
+  static std::int64_t bucket_bound(int bucket);
+  /// Smallest bucket whose bound is >= value (the bucket observe() picks).
+  static int bucket_of(std::int64_t value);
+
+  void reset();
+
+ private:
+  std::array<std::atomic<std::int64_t>, kBuckets> buckets_{};
+  std::atomic<std::int64_t> count_{0};
+  std::atomic<std::int64_t> sum_{0};
+  std::atomic<std::int64_t> min_{0};
+  std::atomic<std::int64_t> max_{0};
+};
+
+/// Name -> instrument registry.  Lookups take a mutex (call sites should
+/// cache the returned reference); updates on the instruments are
+/// lock-free.
+class Registry {
+ public:
+  static Registry& instance();
+
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  /// Reset every registered instrument to zero (instruments themselves
+  /// stay registered so cached references remain valid).
+  void reset();
+
+  /// {"counters": {...}, "gauges": {...}, "histograms": {...}} with
+  /// histogram objects carrying count/sum/min/max and non-empty buckets.
+  void write_json(std::ostream& out, int indent = 0) const;
+
+ private:
+  Registry();
+  ~Registry();
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Shorthand: obs::metrics().counter("...").
+inline Registry& metrics() { return Registry::instance(); }
+
+}  // namespace sparts::obs

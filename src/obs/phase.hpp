@@ -1,0 +1,106 @@
+// Phase profiler: brackets the stages of a sparse direct solve
+// (ordering -> symbolic -> mapping -> factorization -> redistribution ->
+// forward solve -> back substitution) and records, per phase,
+//
+//   * its interval on the tracer's unified timeline (so phases appear as
+//     spans on the host track of the exported Chrome trace),
+//   * the host wall-clock duration,
+//   * for parallel phases, the backend time plus the per-rank
+//     compute/send/idle split and message totals from the RunStats.
+//
+// Clock semantics: a host phase's duration is its wall time and it
+// advances the timeline by that amount.  A parallel phase's duration is
+// the *backend* time (virtual seconds on the simulator, wall seconds on
+// the threaded backend) which the backend itself already pushed onto the
+// timeline via Tracer::end_run(); the profiler then only stamps the
+// bracket.  This keeps simulated Gantt charts in cost-model seconds.
+//
+// The profiler is independent of the exec layer (it takes a plain
+// ParallelPhaseStats POD, filled by the caller from RunStats) so that
+// obs/ sits below every other library in the dependency order.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace sparts::obs {
+
+/// Aggregated backend statistics of one parallel phase.  Mirrors
+/// exec::RunStats without depending on it.
+struct ParallelPhaseStats {
+  int procs = 0;
+  double parallel_time = 0.0;  ///< max rank clock (backend seconds)
+  std::int64_t flops = 0;
+  std::int64_t messages = 0;
+  std::int64_t words = 0;
+  /// Per-rank splits (size procs), in backend seconds.
+  std::vector<double> compute_time;
+  std::vector<double> send_time;
+  std::vector<double> idle_time;
+};
+
+struct PhaseRecord {
+  std::string name;
+  double start = 0.0;     ///< timeline seconds at begin
+  double duration = 0.0;  ///< timeline seconds (backend time when parallel)
+  double wall_seconds = 0.0;
+  int depth = 0;  ///< nesting depth at begin (0 = top-level)
+  bool parallel = false;
+  ParallelPhaseStats stats;  ///< meaningful when `parallel`
+};
+
+class PhaseProfiler {
+ public:
+  static PhaseProfiler& instance();
+
+  /// Begin a phase.  Phases nest; end() closes the innermost open phase.
+  void begin(const std::string& name);
+
+  /// End the innermost open phase as a host phase: duration = wall time,
+  /// timeline advanced by it.
+  void end();
+
+  /// End the innermost open phase as a parallel phase: duration =
+  /// stats.parallel_time, which the backend already added to the
+  /// timeline.  Also folds the aggregates into the metrics registry
+  /// (gauges "phase.<name>.seconds" etc.).
+  void end_parallel(const ParallelPhaseStats& stats);
+
+  const std::vector<PhaseRecord>& records() const { return records_; }
+  void clear();
+
+  /// JSON array of phase objects (per-phase times, splits, totals).
+  void write_json(std::ostream& out, int indent = 0) const;
+
+ private:
+  struct OpenPhase;
+  std::vector<PhaseRecord> records_;
+  std::vector<OpenPhase> stack_;
+};
+
+/// The combined observability report: {"metrics": <registry JSON>,
+/// "phases": <profiler JSON>}.  What `sparts_solve --metrics` writes.
+void write_metrics_report(std::ostream& out);
+
+/// write_metrics_report to a file; returns false if it cannot be opened.
+bool write_metrics_report_file(const std::string& path);
+
+/// RAII phase bracket.  Ends as a host phase unless set_parallel() was
+/// called with the backend stats first.
+class PhaseScope {
+ public:
+  explicit PhaseScope(const std::string& name);
+  ~PhaseScope();
+  PhaseScope(const PhaseScope&) = delete;
+  PhaseScope& operator=(const PhaseScope&) = delete;
+
+  void set_parallel(const ParallelPhaseStats& stats);
+
+ private:
+  bool parallel_ = false;
+  ParallelPhaseStats stats_;
+};
+
+}  // namespace sparts::obs

@@ -1,0 +1,75 @@
+// RAII trace spans and instants bound to an exec::Process: the
+// instrumentation vocabulary for SPMD code (collectives, partrisolve,
+// parfact, redist).  Header-only on top of obs/trace.hpp; include this —
+// not trace.hpp — from algorithm code.
+//
+// Zero-cost-when-disabled: every macro/constructor checks
+// Tracer::enabled() (one relaxed load) before reading any clock.  Event
+// names must be string literals (the tracer stores the pointer).
+//
+//   void spmd(exec::Process& proc) {
+//     SPARTS_TRACE_SPAN(proc, obs::Category::compute, "fw.supernode", s, q);
+//     ...
+//     SPARTS_TRACE_INSTANT(proc, obs::Category::comm, "token.drop", k, 0);
+//   }
+#pragma once
+
+#include "exec/process.hpp"
+#include "obs/trace.hpp"
+
+namespace sparts::obs {
+
+/// Span tied to a Process: begin on construction, end on destruction,
+/// timestamped with the backend clock (Process::now()).  When tracing is
+/// disabled at construction the object is inert (no clock reads); if
+/// tracing turns off mid-span the end event is simply dropped and the
+/// exporter closes the span.
+class ProcSpan {
+ public:
+  ProcSpan(exec::Process& proc, Category cat, const char* name,
+           std::int64_t a = 0, std::int64_t b = 0) {
+    if (!Tracer::enabled()) return;
+    proc_ = &proc;
+    cat_ = cat;
+    name_ = name;
+    Tracer::instance().record_local(static_cast<std::int32_t>(proc.rank()),
+                                    EventKind::span_begin, cat, name,
+                                    proc.now(), a, b);
+  }
+  ~ProcSpan() {
+    if (proc_ == nullptr) return;
+    Tracer::instance().record_local(static_cast<std::int32_t>(proc_->rank()),
+                                    EventKind::span_end, cat_, name_,
+                                    proc_->now());
+  }
+  ProcSpan(const ProcSpan&) = delete;
+  ProcSpan& operator=(const ProcSpan&) = delete;
+
+ private:
+  exec::Process* proc_ = nullptr;
+  Category cat_ = Category::other;
+  const char* name_ = nullptr;
+};
+
+inline void proc_instant(exec::Process& proc, Category cat, const char* name,
+                         std::int64_t a = 0, std::int64_t b = 0) {
+  if (!Tracer::enabled()) return;
+  Tracer::instance().record_local(static_cast<std::int32_t>(proc.rank()),
+                                  EventKind::instant, cat, name, proc.now(),
+                                  a, b);
+}
+
+}  // namespace sparts::obs
+
+#define SPARTS_OBS_CONCAT2(a, b) a##b
+#define SPARTS_OBS_CONCAT(a, b) SPARTS_OBS_CONCAT2(a, b)
+
+/// Scoped span on `proc`'s track; extra args are the two integer payloads.
+#define SPARTS_TRACE_SPAN(proc, cat, name, ...)               \
+  ::sparts::obs::ProcSpan SPARTS_OBS_CONCAT(sparts_obs_span_, \
+                                            __LINE__)(        \
+      (proc), (cat), (name)__VA_OPT__(, ) __VA_ARGS__)
+
+/// Instant event on `proc`'s track.
+#define SPARTS_TRACE_INSTANT(proc, cat, name, ...) \
+  ::sparts::obs::proc_instant((proc), (cat), (name)__VA_OPT__(, ) __VA_ARGS__)

@@ -1,0 +1,331 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <ostream>
+#include <string_view>
+
+#include "common/error.hpp"
+
+namespace sparts::obs {
+
+std::atomic<bool> Tracer::enabled_{false};
+
+const char* to_string(Category cat) {
+  switch (cat) {
+    case Category::comm:
+      return "comm";
+    case Category::collective:
+      return "collective";
+    case Category::compute:
+      return "compute";
+    case Category::phase:
+      return "phase";
+    case Category::kernel:
+      return "kernel";
+    case Category::check:
+      return "check";
+    case Category::other:
+      return "other";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Maximum rank the tracer keeps a track for (slot 0 is the host track).
+/// The paper's machine tops out at 256 processors; events from larger
+/// ranks fold into the host track rather than growing an unbounded table.
+constexpr std::size_t kMaxTracks = 1025;
+
+std::size_t default_capacity_from_env() {
+  if (const char* env = std::getenv("SPARTS_TRACE_BUF")) {
+    const long v = std::atol(env);
+    if (v > 0) return static_cast<std::size_t>(v);
+  }
+  return std::size_t{1} << 16;
+}
+
+std::size_t slot_of(std::int32_t rank) {
+  if (rank < 0 || static_cast<std::size_t>(rank) + 1 >= kMaxTracks) return 0;
+  return static_cast<std::size_t>(rank) + 1;
+}
+
+/// JSON string escaping for event names (names are literals, but keep the
+/// exporter safe against any future name).
+void write_escaped(std::ostream& out, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out << "\\\"";
+        break;
+      case '\\':
+        out << "\\\\";
+        break;
+      case '\n':
+        out << "\\n";
+        break;
+      default:
+        out << c;
+    }
+  }
+}
+
+/// Argument labels per category: {a, b} mean different things per event
+/// family; label them so Perfetto's args pane reads naturally.
+std::pair<const char*, const char*> arg_labels(Category cat) {
+  switch (cat) {
+    case Category::comm:
+      return {"bytes", "peer"};
+    case Category::collective:
+      return {"words", "group"};
+    case Category::compute:
+      return {"id", "aux"};
+    case Category::kernel:
+      return {"flops", "n"};
+    case Category::check:
+      return {"src", "tag"};
+    case Category::phase:
+    case Category::other:
+      return {"a", "b"};
+  }
+  return {"a", "b"};
+}
+
+}  // namespace
+
+/// Single-writer ring buffer: the owning rank's thread appends, nobody
+/// else writes.  `head` is the next write position once the ring wrapped.
+struct Tracer::RankBuffer {
+  explicit RankBuffer(std::size_t cap) : capacity(std::max<std::size_t>(cap, 1)) {
+    events.reserve(capacity);
+  }
+
+  std::vector<TraceEvent> events;
+  std::size_t capacity = 0;
+  std::size_t head = 0;
+  std::atomic<std::uint64_t> dropped{0};
+
+  void push(const TraceEvent& ev) {
+    if (events.size() < capacity) {
+      events.push_back(ev);
+      return;
+    }
+    // Ring full: overwrite the oldest event.
+    events[head] = ev;
+    head = (head + 1) % capacity;
+    dropped.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Events in recording order (oldest first).
+  std::vector<TraceEvent> ordered() const {
+    std::vector<TraceEvent> out;
+    out.reserve(events.size());
+    for (std::size_t i = 0; i < events.size(); ++i) {
+      out.push_back(events[(head + i) % events.size()]);
+    }
+    return out;
+  }
+};
+
+Tracer::Tracer() : buffers_(kMaxTracks), slots_(kMaxTracks) {
+  for (auto& s : slots_) s.store(nullptr, std::memory_order_relaxed);
+}
+
+Tracer::~Tracer() = default;
+
+Tracer& Tracer::instance() {
+  static Tracer tracer;
+  return tracer;
+}
+
+void Tracer::enable(std::size_t events_per_rank) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  capacity_ =
+      events_per_rank > 0 ? events_per_rank : default_capacity_from_env();
+  enabled_.store(true, std::memory_order_release);
+}
+
+void Tracer::disable() { enabled_.store(false, std::memory_order_release); }
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (std::size_t i = 0; i < kMaxTracks; ++i) {
+    slots_[i].store(nullptr, std::memory_order_release);
+    buffers_[i].reset();
+  }
+  timeline_.store(0.0, std::memory_order_release);
+  run_base_.store(0.0, std::memory_order_release);
+}
+
+double Tracer::timeline() const {
+  return timeline_.load(std::memory_order_acquire);
+}
+
+void Tracer::advance_timeline(double seconds) {
+  if (seconds <= 0.0) return;
+  double cur = timeline_.load(std::memory_order_relaxed);
+  while (!timeline_.compare_exchange_weak(cur, cur + seconds,
+                                          std::memory_order_acq_rel)) {
+  }
+}
+
+void Tracer::begin_run() {
+  run_base_.store(timeline(), std::memory_order_release);
+}
+
+void Tracer::end_run(double duration) { advance_timeline(duration); }
+
+double Tracer::to_timeline(double local_ts) const {
+  return run_base_.load(std::memory_order_acquire) + local_ts;
+}
+
+Tracer::RankBuffer* Tracer::buffer_for(std::int32_t rank) {
+  const std::size_t slot = slot_of(rank);
+  RankBuffer* buf = slots_[slot].load(std::memory_order_acquire);
+  if (buf != nullptr) return buf;
+  std::lock_guard<std::mutex> lock(mutex_);
+  buf = slots_[slot].load(std::memory_order_relaxed);
+  if (buf == nullptr) {
+    buffers_[slot] = std::make_unique<RankBuffer>(capacity_);
+    buf = buffers_[slot].get();
+    slots_[slot].store(buf, std::memory_order_release);
+  }
+  return buf;
+}
+
+void Tracer::record(std::int32_t rank, EventKind kind, Category cat,
+                    const char* name, double timeline_ts, std::int64_t a,
+                    std::int64_t b) {
+  if (!enabled()) return;
+  TraceEvent ev;
+  ev.ts = timeline_ts;
+  ev.a = a;
+  ev.b = b;
+  ev.name = name;
+  ev.kind = kind;
+  ev.cat = cat;
+  ev.rank = rank;
+  buffer_for(rank)->push(ev);
+}
+
+void Tracer::record_local(std::int32_t rank, EventKind kind, Category cat,
+                          const char* name, double local_ts, std::int64_t a,
+                          std::int64_t b) {
+  if (!enabled()) return;
+  record(rank, kind, cat, name, to_timeline(local_ts), a, b);
+}
+
+void Tracer::instant_now(std::int32_t rank, Category cat, const char* name,
+                         std::int64_t a, std::int64_t b) {
+  if (!enabled()) return;
+  record(rank, EventKind::instant, cat, name, timeline(), a, b);
+}
+
+std::size_t Tracer::event_count() const {
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < kMaxTracks; ++i) {
+    const RankBuffer* buf = slots_[i].load(std::memory_order_acquire);
+    if (buf != nullptr) total += buf->events.size();
+  }
+  return total;
+}
+
+std::size_t Tracer::dropped_count() const {
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < kMaxTracks; ++i) {
+    const RankBuffer* buf = slots_[i].load(std::memory_order_acquire);
+    if (buf != nullptr) {
+      total += static_cast<std::size_t>(
+          buf->dropped.load(std::memory_order_relaxed));
+    }
+  }
+  return total;
+}
+
+void Tracer::write_chrome_trace(std::ostream& out) const {
+  out << "{\n\"displayTimeUnit\": \"ms\",\n\"otherData\": {\"tool\": "
+         "\"sparts\", \"dropped_events\": "
+      << dropped_count() << "},\n\"traceEvents\": [\n";
+
+  bool first = true;
+  auto emit = [&](std::int32_t tid, const char* ph, const TraceEvent& ev) {
+    if (!first) out << ",\n";
+    first = false;
+    const auto [la, lb] = arg_labels(ev.cat);
+    out << "{\"name\": \"";
+    write_escaped(out, ev.name != nullptr ? ev.name : "?");
+    out << "\", \"cat\": \"" << to_string(ev.cat) << "\", \"ph\": \"" << ph
+        << "\", \"ts\": " << ev.ts * 1e6 << ", \"pid\": 0, \"tid\": " << tid
+        << ", \"args\": {\"" << la << "\": " << ev.a << ", \"" << lb
+        << "\": " << ev.b << "}";
+    if (ph[0] == 'i') out << ", \"s\": \"t\"";
+    out << "}";
+  };
+  auto emit_meta = [&](std::int32_t tid, const std::string& label,
+                       std::int32_t sort) {
+    if (!first) out << ",\n";
+    first = false;
+    out << "{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 0, \"tid\": "
+        << tid << ", \"args\": {\"name\": \"";
+    write_escaped(out, label);
+    out << "\"}},\n"
+        << "{\"name\": \"thread_sort_index\", \"ph\": \"M\", \"pid\": 0, "
+           "\"tid\": "
+        << tid << ", \"args\": {\"sort_index\": " << sort << "}}";
+  };
+
+  for (std::size_t slot = 0; slot < kMaxTracks; ++slot) {
+    const RankBuffer* buf = slots_[slot].load(std::memory_order_acquire);
+    if (buf == nullptr || buf->events.empty()) continue;
+    // tid 0 is the host/phase track; rank r maps to tid r + 1.
+    const std::int32_t tid = static_cast<std::int32_t>(slot);
+    emit_meta(tid,
+              slot == 0 ? "host/phases" : "rank " + std::to_string(slot - 1),
+              tid);
+
+    const std::vector<TraceEvent> events = buf->ordered();
+    // Balanced emission: drop span_ends whose begin was overwritten by
+    // the ring, close unclosed begins at the track's last timestamp.
+    std::vector<const TraceEvent*> open;
+    double last_ts = 0.0;
+    for (const TraceEvent& ev : events) {
+      last_ts = std::max(last_ts, ev.ts);
+      switch (ev.kind) {
+        case EventKind::span_begin:
+          open.push_back(&ev);
+          emit(tid, "B", ev);
+          break;
+        case EventKind::span_end:
+          if (open.empty()) break;  // begin lost to the ring
+          open.pop_back();
+          emit(tid, "E", ev);
+          break;
+        case EventKind::instant:
+          emit(tid, "i", ev);
+          break;
+        case EventKind::counter:
+          emit(tid, "C", ev);
+          break;
+      }
+    }
+    while (!open.empty()) {
+      TraceEvent closing = *open.back();
+      open.pop_back();
+      closing.ts = last_ts;
+      emit(tid, "E", closing);
+    }
+  }
+
+  out << "\n]\n}\n";
+}
+
+bool Tracer::write_chrome_trace_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_chrome_trace(out);
+  return static_cast<bool>(out);
+}
+
+}  // namespace sparts::obs

@@ -1,0 +1,176 @@
+// Low-overhead per-rank event tracing for both execution backends.
+//
+// The tracer records spans (begin/end pairs) and instant events into
+// per-rank ring buffers.  Timestamps come from the backend's own clock —
+// virtual cost-model seconds on simpar::Machine, wall-clock seconds on
+// exec::ThreadBackend — mapped onto one monotone *timeline* so that the
+// sequential phases of a solve (ordering, symbolic, factorization,
+// redistribution, forward, backward) lay out end to end even though each
+// phase runs on a fresh backend whose local clock restarts at zero:
+//
+//   timeline ts = phase base + Process::now()
+//
+// Backends bracket every run() with begin_run()/end_run(duration), which
+// freezes the base and then advances the timeline cursor by the run's
+// parallel time; host-side phases advance the cursor with wall durations
+// (see obs/phase.hpp).  The result is one coherent Gantt chart per solve,
+// exportable as Chrome/Perfetto trace_event JSON (write_chrome_trace).
+//
+// Cost discipline: when tracing is disabled (the default) every
+// instrumentation site reduces to one relaxed atomic load and a branch —
+// no clock reads, no allocation, no locks.  Hot paths must check
+// Tracer::enabled() before touching a clock.  Event names must be string
+// literals (the event record stores the pointer, not a copy); dynamic
+// identifiers (supernode, pivot block, peer rank) travel in the two
+// integer payload slots instead.
+//
+// Threading: each rank's events are recorded from the thread executing
+// that rank (both backends guarantee a single executing thread per rank),
+// so ring-buffer writes are single-writer and lock-free.  Buffer *slots*
+// are created on first use under a mutex.  Export is meant to run after
+// the traced runs complete.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace sparts::obs {
+
+/// Track id for host-side events (phases, findings without a rank).
+inline constexpr std::int32_t kHostTrack = -1;
+
+enum class EventKind : std::uint8_t {
+  span_begin,
+  span_end,
+  instant,
+  counter,
+};
+
+/// Coarse grouping used by the exporter to label tracks and argument
+/// fields; also lets tools filter without string-matching names.
+enum class Category : std::uint8_t {
+  comm,        ///< point-to-point send/recv inside a backend
+  collective,  ///< broadcast / reduce / allgather / ... (exec/collectives)
+  compute,     ///< algorithm-level work: supernodes, pivot blocks, panels
+  phase,       ///< solver pipeline phases (obs/phase.hpp)
+  kernel,      ///< dense kernel dispatch
+  check,       ///< checked-backend findings surfaced as instants
+  other,
+};
+
+const char* to_string(Category cat);
+
+/// One recorded event.  `name` must point at a string literal.
+struct TraceEvent {
+  double ts = 0.0;       ///< timeline seconds
+  std::int64_t a = 0;    ///< payload (bytes, flops, supernode id, ...)
+  std::int64_t b = 0;    ///< payload (peer rank, tag, block id, ...)
+  const char* name = nullptr;
+  EventKind kind = EventKind::instant;
+  Category cat = Category::other;
+  std::int32_t rank = kHostTrack;
+};
+
+class Tracer {
+ public:
+  static Tracer& instance();
+
+  /// True when some thread enabled tracing.  One relaxed load; the only
+  /// cost instrumentation pays when tracing is off.
+  static bool enabled() { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Start recording.  `events_per_rank` bounds each rank's ring buffer
+  /// (oldest events are overwritten when full); 0 means the default
+  /// (SPARTS_TRACE_BUF environment variable, else 1 << 16).
+  void enable(std::size_t events_per_rank = 0);
+
+  /// Stop recording.  Buffered events stay available for export.
+  void disable();
+
+  /// Drop all recorded events and reset the timeline cursor to zero.
+  void clear();
+
+  // -- timeline ------------------------------------------------------------
+
+  /// Current end of the timeline (seconds).
+  double timeline() const;
+
+  /// Move the timeline cursor forward (host phases; negative deltas are
+  /// clamped to zero).
+  void advance_timeline(double seconds);
+
+  /// A backend is starting run(): freeze the current cursor as the base
+  /// that to_timeline() adds to backend-local clocks.
+  void begin_run();
+
+  /// The run finished after `duration` backend seconds: advance the
+  /// cursor past it.
+  void end_run(double duration);
+
+  /// Map a backend-local clock reading onto the timeline.
+  double to_timeline(double local_ts) const;
+
+  // -- recording -----------------------------------------------------------
+
+  /// Record an event with a backend-local timestamp (converted via
+  /// to_timeline).  No-op when disabled.
+  void record_local(std::int32_t rank, EventKind kind, Category cat,
+                    const char* name, double local_ts, std::int64_t a = 0,
+                    std::int64_t b = 0);
+
+  /// Record an event already expressed in timeline seconds.
+  void record(std::int32_t rank, EventKind kind, Category cat,
+              const char* name, double timeline_ts, std::int64_t a = 0,
+              std::int64_t b = 0);
+
+  /// Record an instant at the current end of the timeline (host-side
+  /// events with no better clock).
+  void instant_now(std::int32_t rank, Category cat, const char* name,
+                   std::int64_t a = 0, std::int64_t b = 0);
+
+  // -- export --------------------------------------------------------------
+
+  /// Total events currently buffered (all ranks).
+  std::size_t event_count() const;
+
+  /// Events dropped because a ring buffer wrapped (all ranks).
+  std::size_t dropped_count() const;
+
+  /// Write everything as Chrome trace_event JSON (load in Perfetto or
+  /// chrome://tracing).  Spans are emitted as balanced B/E pairs; spans
+  /// whose begin was overwritten by the ring are dropped, spans whose end
+  /// is missing are closed at the track's last timestamp.
+  void write_chrome_trace(std::ostream& out) const;
+
+  /// write_chrome_trace to a file; returns false (and records nothing) if
+  /// the file cannot be opened.
+  bool write_chrome_trace_file(const std::string& path) const;
+
+ private:
+  struct RankBuffer;
+
+  Tracer();
+  ~Tracer();
+  RankBuffer* buffer_for(std::int32_t rank);
+
+  static std::atomic<bool> enabled_;
+
+  mutable std::mutex mutex_;  ///< guards slot creation + config
+  std::size_t capacity_ = 0;
+  /// Slot [0] is the host track; slot [r + 1] is rank r.  Slots are
+  /// allocated on first record and owned here; the atomic pointers let
+  /// rank threads find their buffer without taking mutex_.
+  std::vector<std::unique_ptr<RankBuffer>> buffers_;
+  std::vector<std::atomic<RankBuffer*>> slots_;
+  std::atomic<double> timeline_{0.0};
+  std::atomic<double> run_base_{0.0};
+};
+
+}  // namespace sparts::obs

@@ -1,5 +1,7 @@
 #include "parfact/parfact.hpp"
 
+#include "obs/span.hpp"
+
 #include <algorithm>
 #include <map>
 #include <unordered_map>
@@ -158,6 +160,9 @@ Report parallel_multifrontal(exec::Comm& machine,
     for (index_t s = 0; s < nsup; ++s) {
       const exec::Group g = map.group[static_cast<std::size_t>(s)];
       if (!g.contains(w)) continue;
+      SPARTS_TRACE_SPAN(proc, obs::Category::compute, "fact.supernode",
+                        static_cast<std::int64_t>(s),
+                        static_cast<std::int64_t>(g.count));
       const index_t ns = part.height(s);
       const index_t t = part.width(s);
       const FrontGeometry geo = make_geometry(g, ns, t, b2d);

@@ -7,6 +7,7 @@
 #include "common/checks.hpp"
 #include "common/error.hpp"
 #include "dense/kernels.hpp"
+#include "obs/span.hpp"
 #include "mapping/block_cyclic.hpp"
 #include "ordering/etree.hpp"
 #include "partrisolve/layout.hpp"
@@ -197,6 +198,9 @@ void fw_pipelined_column_priority(exec::Process& proc, const PhaseContext& ctx,
   const index_t m = ctx.m;
 
   for (index_t k = 0; k < tb; ++k) {
+    SPARTS_TRACE_SPAN(proc, obs::Category::compute, "fw.block",
+                      static_cast<std::int64_t>(k),
+                      static_cast<std::int64_t>(s));
     const index_t owner = lay.owner_of_block(k);
     const index_t c0 = lay.col_begin(k);
     const index_t c1 = lay.col_end(k);
@@ -289,6 +293,9 @@ void fw_pipelined_row_priority(exec::Process& proc, const PhaseContext& ctx,
   };
 
   for (index_t i = r; i < lay.num_blocks(); i += q) {
+    SPARTS_TRACE_SPAN(proc, obs::Category::compute, "fw.row_block",
+                      static_cast<std::int64_t>(i),
+                      static_cast<std::int64_t>(s));
     const index_t i0 = lay.block_begin(i);
     const index_t i1 = lay.block_end(i);
     if (i < tb) {
@@ -344,6 +351,9 @@ void fw_fan_out(exec::Process& proc, const PhaseContext& ctx, index_t s,
   const index_t m = ctx.m;
 
   for (index_t k = 0; k < tb; ++k) {
+    SPARTS_TRACE_SPAN(proc, obs::Category::compute, "fw.block",
+                      static_cast<std::int64_t>(k),
+                      static_cast<std::int64_t>(s));
     const index_t owner = lay.owner_of_block(k);
     const index_t c0 = lay.col_begin(k);
     const index_t c1 = lay.col_end(k);
@@ -401,6 +411,9 @@ void bw_pipelined(exec::Process& proc, const PhaseContext& ctx, index_t s,
   const index_t m = ctx.m;
 
   for (index_t k = tb - 1; k >= 0; --k) {
+    SPARTS_TRACE_SPAN(proc, obs::Category::compute, "bw.block",
+                      static_cast<std::int64_t>(k),
+                      static_cast<std::int64_t>(s));
     const index_t owner = lay.owner_of_block(k);
     const index_t c0 = lay.col_begin(k);
     const index_t c1 = lay.col_end(k);
@@ -472,6 +485,9 @@ void bw_fan_in(exec::Process& proc, const PhaseContext& ctx, index_t s,
   const index_t m = ctx.m;
 
   for (index_t k = tb - 1; k >= 0; --k) {
+    SPARTS_TRACE_SPAN(proc, obs::Category::compute, "bw.block",
+                      static_cast<std::int64_t>(k),
+                      static_cast<std::int64_t>(s));
     const index_t owner = lay.owner_of_block(k);
     const index_t c0 = lay.col_begin(k);
     const index_t c1 = lay.col_end(k);
@@ -585,6 +601,9 @@ PhaseReport DistributedTrisolver::forward(exec::Comm& machine,
     for (index_t s = 0; s < nsup; ++s) {
       const exec::Group g = map_.group[static_cast<std::size_t>(s)];
       if (!g.contains(w)) continue;
+      SPARTS_TRACE_SPAN(proc, obs::Category::compute, "fw.supernode",
+                        static_cast<std::int64_t>(s),
+                        static_cast<std::int64_t>(g.count));
       const index_t r = w - g.base;
       const Layout lay = layout_of(ctx, s);
       const index_t nloc = lay.local_count(r);
@@ -715,6 +734,9 @@ PhaseReport DistributedTrisolver::backward(exec::Comm& machine,
     for (index_t s = nsup - 1; s >= 0; --s) {
       const exec::Group g = map_.group[static_cast<std::size_t>(s)];
       if (!g.contains(w)) continue;
+      SPARTS_TRACE_SPAN(proc, obs::Category::compute, "bw.supernode",
+                        static_cast<std::int64_t>(s),
+                        static_cast<std::int64_t>(g.count));
       const index_t r = w - g.base;
       const Layout lay = layout_of(ctx, s);
       const index_t nloc = lay.local_count(r);

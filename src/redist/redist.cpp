@@ -1,5 +1,7 @@
 #include "redist/redist.hpp"
 
+#include "obs/span.hpp"
+
 #include <algorithm>
 #include <cmath>
 #include <vector>
@@ -79,6 +81,9 @@ Report redistribute_factor(exec::Comm& machine,
     for (index_t s = 0; s < nsup; ++s) {
       const exec::Group g = map.group[static_cast<std::size_t>(s)];
       if (g.count < 2 || !g.contains(w)) continue;
+      SPARTS_TRACE_SPAN(proc, obs::Category::compute, "redist.supernode",
+                        static_cast<std::int64_t>(s),
+                        static_cast<std::int64_t>(g.count));
       const index_t q = g.count;
       const index_t r = g.local(w);
       const index_t ns = part.height(s);

@@ -4,6 +4,9 @@
 #include <memory>
 #include <thread>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace sparts::simpar {
 
 // ---------------------------------------------------------------------------
@@ -92,10 +95,28 @@ void Machine::do_send(index_t rank, index_t dst, int tag,
   const double arrival =
       pc.clock + occupancy +
       config_.cost.network_latency(topology_.hops(rank, dst));
+  const double send_start = pc.clock;
   pc.clock += occupancy;
   pc.stats.send_time += occupancy;
   ++pc.stats.messages_sent;
   pc.stats.words_sent += words;
+
+  // The machine mutex is held here, so use pc.clock directly — calling
+  // do_now() would self-deadlock.
+  if (obs::Tracer::enabled()) {
+    auto& tracer = obs::Tracer::instance();
+    const auto r32 = static_cast<std::int32_t>(rank);
+    tracer.record_local(r32, obs::EventKind::span_begin, obs::Category::comm,
+                        "send", send_start,
+                        static_cast<std::int64_t>(payload.size()),
+                        static_cast<std::int64_t>(dst));
+    tracer.record_local(r32, obs::EventKind::span_end, obs::Category::comm,
+                        "send", pc.clock);
+  }
+  if (obs::metrics_enabled()) {
+    obs::metrics().histogram("comm.message_bytes")
+        .observe(static_cast<std::int64_t>(payload.size()));
+  }
 
   Message msg;
   msg.src = rank;
@@ -155,7 +176,23 @@ ReceivedMessage Machine::do_recv(index_t rank, index_t src, int tag) {
   const double old_clock = pc.clock;
   pc.clock = std::max(pc.clock, msg.arrival);
   pc.stats.idle_time += pc.clock - old_clock;
+  ++pc.stats.messages_received;
+  pc.stats.words_received += static_cast<nnz_t>(
+      (msg.payload.size() + sizeof(real_t) - 1) / sizeof(real_t));
   pc.status = Status::ready;
+
+  // Recorded only now (while the rank was blocked nothing else wrote to
+  // its track, so per-rank order is preserved); mutex held, so no do_now().
+  if (obs::Tracer::enabled()) {
+    auto& tracer = obs::Tracer::instance();
+    const auto r32 = static_cast<std::int32_t>(rank);
+    tracer.record_local(r32, obs::EventKind::span_begin, obs::Category::comm,
+                        "recv", old_clock,
+                        static_cast<std::int64_t>(msg.payload.size()),
+                        static_cast<std::int64_t>(msg.src));
+    tracer.record_local(r32, obs::EventKind::span_end, obs::Category::comm,
+                        "recv", pc.clock);
+  }
   return ReceivedMessage{msg.src, msg.tag, std::move(msg.payload)};
 }
 
@@ -245,6 +282,8 @@ RunStats Machine::run(const std::function<void(Proc&)>& spmd) {
     procs_.push_back(std::make_unique<ProcControl>());
   }
 
+  if (obs::Tracer::enabled()) obs::Tracer::instance().begin_run();
+
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(config_.nprocs));
   for (index_t r = 0; r < config_.nprocs; ++r) {
@@ -288,6 +327,9 @@ RunStats Machine::run(const std::function<void(Proc&)>& spmd) {
   for (auto& pc : procs_) {
     pc->stats.clock = pc->clock;
     stats.procs.push_back(pc->stats);
+  }
+  if (obs::Tracer::enabled()) {
+    obs::Tracer::instance().end_run(stats.parallel_time());
   }
   return stats;
 }

@@ -8,6 +8,7 @@
 #include "exec/thread_backend.hpp"
 #include "mapping/subtree_to_subcube.hpp"
 #include "numeric/multifrontal.hpp"
+#include "obs/phase.hpp"
 #include "ordering/mindeg.hpp"
 #include "ordering/nested_dissection.hpp"
 #include "ordering/rcm.hpp"
@@ -102,11 +103,19 @@ SparseSolver SparseSolver::factorize(const sparse::SymmetricCsc& a,
                                      const Options& options) {
   SparseSolver s;
   dense::set_kernel_impl(options.kernels);
-  s.perm_ = compute_ordering(a, options.ordering);
-  s.a_perm_ = sparse::permute_symmetric(a, s.perm_);
-  const symbolic::SupernodePartition part =
-      analyze(s.a_perm_, options, &s.info_);
-  s.factor_ = numeric::multifrontal_cholesky(s.a_perm_, part);
+  {
+    obs::PhaseScope phase("ordering");
+    s.perm_ = compute_ordering(a, options.ordering);
+    s.a_perm_ = sparse::permute_symmetric(a, s.perm_);
+  }
+  const symbolic::SupernodePartition part = [&] {
+    obs::PhaseScope phase("symbolic");
+    return analyze(s.a_perm_, options, &s.info_);
+  }();
+  {
+    obs::PhaseScope phase("factorization");
+    s.factor_ = numeric::multifrontal_cholesky(s.a_perm_, part);
+  }
   return s;
 }
 
@@ -185,23 +194,33 @@ ParallelSolveResult parallel_solve(const sparse::SymmetricCsc& a,
   SPARTS_CHECK(static_cast<index_t>(b.size()) == n * m);
 
   dense::set_kernel_impl(options.kernels);
-  const sparse::Permutation perm = compute_ordering(a, options.ordering);
+  const sparse::Permutation perm = [&] {
+    obs::PhaseScope phase("ordering");
+    return compute_ordering(a, options.ordering);
+  }();
   const sparse::SymmetricCsc a_perm = sparse::permute_symmetric(a, perm);
-  const symbolic::SupernodePartition part =
-      analyze(a_perm, options, nullptr);
+  const symbolic::SupernodePartition part = [&] {
+    obs::PhaseScope phase("symbolic");
+    return analyze(a_perm, options, nullptr);
+  }();
 
   ParallelSolveResult result;
 
   // Phase 1: parallel factorization with 2-D partitioned fronts.
-  const mapping::SubcubeMapping fact_map = mapping::subtree_to_subcube(
-      part, p, mapping::factor_work_weights(part));
+  const mapping::SubcubeMapping fact_map = [&] {
+    obs::PhaseScope phase("mapping");
+    return mapping::subtree_to_subcube(part, p,
+                                       mapping::factor_work_weights(part));
+  }();
   numeric::SupernodalFactor factor;
   {
+    obs::PhaseScope phase("factorization");
     auto machine = make_backend(options.backend, p);
-    result.factor_time =
+    const parfact::Report report =
         parfact::parallel_multifrontal(*machine, a_perm, part, fact_map,
-                                       factor)
-            .time();
+                                       factor);
+    result.factor_time = report.time();
+    phase.set_parallel(exec::to_phase_stats(report.stats));
     accumulate_report(*machine, &result);
   }
 
@@ -212,11 +231,12 @@ ParallelSolveResult parallel_solve(const sparse::SymmetricCsc& a,
   const redist::Options redist_options;
   partrisolve::DistributedFactor local_factor;
   {
+    obs::PhaseScope phase("redistribution");
     auto machine = make_backend(options.backend, p);
-    result.redist_time =
-        redist::redistribute_factor(*machine, factor, solve_map,
-                                    redist_options, &local_factor)
-            .time();
+    const redist::Report report = redist::redistribute_factor(
+        *machine, factor, solve_map, redist_options, &local_factor);
+    result.redist_time = report.time();
+    phase.set_parallel(exec::to_phase_stats(report.stats));
     accumulate_report(*machine, &result);
   }
 
@@ -235,9 +255,21 @@ ParallelSolveResult parallel_solve(const sparse::SymmetricCsc& a,
     partrisolve::DistributedTrisolver solver(factor, &local_factor,
                                              solve_map, solver_options);
     auto machine = make_backend(options.backend, p);
-    auto [fw, bw] = solver.solve(*machine, b_perm, x_perm, m);
-    result.forward_time = fw.time();
-    result.backward_time = bw.time();
+    std::vector<real_t> y_perm(b.size(), 0.0);
+    {
+      obs::PhaseScope phase("forward");
+      const partrisolve::PhaseReport fw =
+          solver.forward(*machine, b_perm, y_perm, m);
+      result.forward_time = fw.time();
+      phase.set_parallel(exec::to_phase_stats(fw.stats));
+    }
+    {
+      obs::PhaseScope phase("backward");
+      const partrisolve::PhaseReport bw =
+          solver.backward(*machine, y_perm, x_perm, m);
+      result.backward_time = bw.time();
+      phase.set_parallel(exec::to_phase_stats(bw.stats));
+    }
     accumulate_report(*machine, &result);
   }
 

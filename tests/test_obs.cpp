@@ -1,0 +1,340 @@
+// Tests for the observability layer (src/obs): RunStats aggregation and
+// speedup/efficiency edge cases, the metrics registry (counters, gauges,
+// base-2 histograms), the event tracer (ring overwrite, timeline
+// arithmetic, balanced Chrome export), and the phase profiler.
+// Registered under the CTest label `obs`.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "exec/stats.hpp"
+#include "obs/metrics.hpp"
+#include "obs/phase.hpp"
+#include "obs/trace.hpp"
+
+namespace sparts {
+namespace {
+
+std::size_t count_occurrences(const std::string& hay, const std::string& s) {
+  std::size_t n = 0;
+  for (std::size_t pos = hay.find(s); pos != std::string::npos;
+       pos = hay.find(s, pos + s.size())) {
+    ++n;
+  }
+  return n;
+}
+
+// ---------------------------------------------------------------------------
+// RunStats aggregation
+// ---------------------------------------------------------------------------
+
+exec::RunStats two_proc_stats() {
+  exec::RunStats rs;
+  exec::ProcStats p0;
+  p0.clock = 2.0;
+  p0.compute_time = 1.5;
+  p0.flops = 100;
+  p0.messages_sent = 3;
+  p0.words_sent = 30;
+  p0.messages_received = 2;
+  p0.words_received = 20;
+  exec::ProcStats p1;
+  p1.clock = 4.0;
+  p1.compute_time = 2.5;
+  p1.flops = 200;
+  p1.messages_sent = 2;
+  p1.words_sent = 20;
+  p1.messages_received = 3;
+  p1.words_received = 30;
+  rs.procs = {p0, p1};
+  return rs;
+}
+
+TEST(RunStats, AggregatesAcrossProcs) {
+  const exec::RunStats rs = two_proc_stats();
+  EXPECT_DOUBLE_EQ(rs.parallel_time(), 4.0);
+  EXPECT_EQ(rs.total_flops(), 300);
+  EXPECT_EQ(rs.total_messages(), 5);
+  EXPECT_EQ(rs.total_words(), 50);
+  EXPECT_EQ(rs.total_messages_received(), 5);
+  // sum(compute) / (p * T_p) = 4.0 / (2 * 4.0)
+  EXPECT_DOUBLE_EQ(rs.efficiency(), 0.5);
+}
+
+TEST(RunStats, ClosedRunReceivesWhatWasSent) {
+  // In a closed run every send is matched by a recv, so the two totals
+  // agree; the conformance test checks this on live backends.
+  const exec::RunStats rs = two_proc_stats();
+  EXPECT_EQ(rs.total_messages_received(), rs.total_messages());
+}
+
+TEST(RunStats, EmptyRunIsWellDefined) {
+  const exec::RunStats rs;
+  EXPECT_DOUBLE_EQ(rs.parallel_time(), 0.0);
+  EXPECT_EQ(rs.total_flops(), 0);
+  EXPECT_EQ(rs.total_messages(), 0);
+  EXPECT_EQ(rs.total_words(), 0);
+  EXPECT_EQ(rs.total_messages_received(), 0);
+  // By convention an empty (or zero-time) run is perfectly efficient
+  // rather than dividing by zero.
+  EXPECT_DOUBLE_EQ(rs.efficiency(), 1.0);
+}
+
+TEST(RunStats, ZeroClockRunHasUnitEfficiency) {
+  exec::RunStats rs;
+  rs.procs.resize(3);  // all clocks zero
+  EXPECT_DOUBLE_EQ(rs.parallel_time(), 0.0);
+  EXPECT_DOUBLE_EQ(rs.efficiency(), 1.0);
+}
+
+TEST(SpeedupEfficiency, NormalCase) {
+  EXPECT_DOUBLE_EQ(exec::speedup(8.0, 2.0), 4.0);
+  EXPECT_DOUBLE_EQ(exec::efficiency(8.0, 4, 2.0), 1.0);
+  EXPECT_DOUBLE_EQ(exec::efficiency(8.0, 8, 2.0), 0.5);
+}
+
+TEST(SpeedupEfficiency, DegenerateInputsReturnZero) {
+  EXPECT_DOUBLE_EQ(exec::speedup(8.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(exec::speedup(8.0, -1.0), 0.0);
+  EXPECT_DOUBLE_EQ(exec::efficiency(8.0, 0, 2.0), 0.0);
+  EXPECT_DOUBLE_EQ(exec::efficiency(8.0, -4, 2.0), 0.0);
+  EXPECT_DOUBLE_EQ(exec::efficiency(8.0, 4, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(exec::efficiency(8.0, 4, -2.0), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------------
+
+TEST(Histogram, BucketBoundsArePowersOfTwo) {
+  EXPECT_EQ(obs::Histogram::bucket_bound(0), 0);
+  EXPECT_EQ(obs::Histogram::bucket_bound(1), 1);
+  EXPECT_EQ(obs::Histogram::bucket_bound(2), 2);
+  EXPECT_EQ(obs::Histogram::bucket_bound(3), 4);
+  EXPECT_EQ(obs::Histogram::bucket_bound(10), 512);
+}
+
+TEST(Histogram, BucketOfPicksSmallestCoveringBucket) {
+  EXPECT_EQ(obs::Histogram::bucket_of(0), 0);
+  EXPECT_EQ(obs::Histogram::bucket_of(-5), 0);  // clamped
+  EXPECT_EQ(obs::Histogram::bucket_of(1), 1);
+  EXPECT_EQ(obs::Histogram::bucket_of(2), 2);
+  EXPECT_EQ(obs::Histogram::bucket_of(3), 3);
+  EXPECT_EQ(obs::Histogram::bucket_of(4), 3);
+  EXPECT_EQ(obs::Histogram::bucket_of(5), 4);
+  // bucket_of(v) always names a bucket whose bound covers v ...
+  for (std::int64_t v : {0, 1, 2, 3, 7, 8, 9, 1000, 1 << 20}) {
+    const int b = obs::Histogram::bucket_of(v);
+    EXPECT_GE(obs::Histogram::bucket_bound(b), v) << "value " << v;
+    // ... and (for v > 0) the previous bucket does not.
+    if (v > 0) EXPECT_LT(obs::Histogram::bucket_bound(b - 1), v);
+  }
+  // Huge values saturate into the last bucket instead of indexing out.
+  EXPECT_EQ(obs::Histogram::bucket_of(INT64_MAX), obs::Histogram::kBuckets - 1);
+}
+
+TEST(Histogram, ObserveTracksCountSumMinMax) {
+  obs::Histogram h;
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(h.min(), 0);  // empty convention
+  EXPECT_EQ(h.max(), 0);
+  h.observe(8);
+  h.observe(3);
+  h.observe(100);
+  EXPECT_EQ(h.count(), 3);
+  EXPECT_EQ(h.sum(), 111);
+  EXPECT_EQ(h.min(), 3);
+  EXPECT_EQ(h.max(), 100);
+  EXPECT_EQ(h.bucket_count(obs::Histogram::bucket_of(8)), 1);
+  EXPECT_EQ(h.bucket_count(obs::Histogram::bucket_of(3)), 1);
+  EXPECT_EQ(h.bucket_count(obs::Histogram::bucket_of(100)), 1);
+  h.reset();
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(h.sum(), 0);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+TEST(Registry, InstrumentsAreStableAcrossLookupsAndReset) {
+  obs::Registry& reg = obs::metrics();
+  obs::Counter& c = reg.counter("test.obs.counter");
+  c.add(5);
+  EXPECT_EQ(&c, &reg.counter("test.obs.counter"));
+  EXPECT_EQ(reg.counter("test.obs.counter").value(), 5);
+  obs::Gauge& g = reg.gauge("test.obs.gauge");
+  g.set(2.5);
+  reg.reset();
+  // reset() zeroes values but keeps the instruments (and references) alive.
+  EXPECT_EQ(c.value(), 0);
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+  EXPECT_EQ(&c, &reg.counter("test.obs.counter"));
+}
+
+TEST(Registry, WriteJsonContainsRegisteredInstruments) {
+  obs::Registry& reg = obs::metrics();
+  reg.reset();
+  reg.counter("test.json.counter").add(7);
+  reg.gauge("test.json.gauge").set(1.5);
+  reg.histogram("test.json.hist").observe(64);
+  std::ostringstream out;
+  reg.write_json(out);
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"test.json.counter\": 7"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"test.json.gauge\""), std::string::npos);
+  EXPECT_NE(json.find("\"test.json.hist\""), std::string::npos);
+  EXPECT_NE(json.find("\"le_64\": 1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Tracer
+// ---------------------------------------------------------------------------
+
+// The tracer is a process-wide singleton; every test that enables it must
+// disable + clear on exit so the suite's tests stay independent.
+struct TracerGuard {
+  explicit TracerGuard(std::size_t cap) {
+    obs::Tracer::instance().enable(cap);
+  }
+  ~TracerGuard() {
+    obs::Tracer::instance().disable();
+    obs::Tracer::instance().clear();
+  }
+};
+
+TEST(Tracer, DisabledRecordsNothing) {
+  obs::Tracer& t = obs::Tracer::instance();
+  t.clear();
+  ASSERT_FALSE(obs::Tracer::enabled());
+  t.record(0, obs::EventKind::instant, obs::Category::other, "noop", 1.0);
+  EXPECT_EQ(t.event_count(), 0u);
+}
+
+TEST(Tracer, RingOverwritesOldestAndCountsDrops) {
+  TracerGuard guard(4);
+  obs::Tracer& t = obs::Tracer::instance();
+  for (int i = 0; i < 10; ++i) {
+    t.record(0, obs::EventKind::instant, obs::Category::other, "tick",
+             static_cast<double>(i), i);
+  }
+  EXPECT_EQ(t.event_count(), 4u);
+  EXPECT_EQ(t.dropped_count(), 6u);
+  std::ostringstream out;
+  t.write_chrome_trace(out);
+  const std::string json = out.str();
+  // Only the newest four instants survive the ring.
+  EXPECT_EQ(count_occurrences(json, "\"ph\": \"i\""), 4u);
+  EXPECT_NE(json.find("\"dropped_events\": 6"), std::string::npos) << json;
+}
+
+TEST(Tracer, TimelineMapsLocalClocksPastRunBase) {
+  TracerGuard guard(64);
+  obs::Tracer& t = obs::Tracer::instance();
+  EXPECT_DOUBLE_EQ(t.timeline(), 0.0);
+  t.advance_timeline(2.0);
+  EXPECT_DOUBLE_EQ(t.timeline(), 2.0);
+  t.advance_timeline(-1.0);  // negative deltas clamp to zero
+  EXPECT_DOUBLE_EQ(t.timeline(), 2.0);
+  t.begin_run();
+  // Inside the run, a backend-local clock of 0.5s lands at base + 0.5.
+  EXPECT_DOUBLE_EQ(t.to_timeline(0.5), 2.5);
+  t.end_run(3.0);
+  EXPECT_DOUBLE_EQ(t.timeline(), 5.0);
+  // The base stays frozen after end_run so finalize-time events (checker
+  // findings) still map into the finished run's interval.
+  EXPECT_DOUBLE_EQ(t.to_timeline(0.5), 2.5);
+}
+
+TEST(Tracer, ChromeExportBalancesSpans) {
+  TracerGuard guard(64);
+  obs::Tracer& t = obs::Tracer::instance();
+  // Rank 0: a well-formed span plus an instant.
+  t.record(0, obs::EventKind::span_begin, obs::Category::compute, "work", 1.0);
+  t.record(0, obs::EventKind::instant, obs::Category::other, "mark", 1.5);
+  t.record(0, obs::EventKind::span_end, obs::Category::compute, "work", 2.0);
+  // Rank 1: an orphaned end (its begin was "overwritten") and an
+  // unclosed begin.
+  t.record(1, obs::EventKind::span_end, obs::Category::compute, "lost", 0.5);
+  t.record(1, obs::EventKind::span_begin, obs::Category::compute, "open", 1.0);
+  t.record(1, obs::EventKind::instant, obs::Category::other, "last", 3.0);
+
+  std::ostringstream out;
+  t.write_chrome_trace(out);
+  const std::string json = out.str();
+  // Balanced: the orphaned end is dropped, the unclosed begin is closed
+  // at the track's last timestamp.
+  EXPECT_EQ(count_occurrences(json, "\"ph\": \"B\""),
+            count_occurrences(json, "\"ph\": \"E\""));
+  EXPECT_EQ(count_occurrences(json, "\"ph\": \"B\""), 2u);
+  EXPECT_EQ(json.find("\"lost\""), std::string::npos);
+  EXPECT_NE(json.find("\"open\""), std::string::npos);
+  // Instants carry the thread scope; tracks are named.
+  EXPECT_NE(json.find("\"s\": \"t\""), std::string::npos);
+  EXPECT_NE(json.find("thread_name"), std::string::npos);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Phase profiler
+// ---------------------------------------------------------------------------
+
+TEST(PhaseProfiler, HostAndParallelPhasesRecord) {
+  obs::PhaseProfiler& prof = obs::PhaseProfiler::instance();
+  prof.clear();
+  obs::Tracer::instance().clear();
+
+  { obs::PhaseScope host("host_work"); }
+
+  {
+    obs::PhaseScope par("spmd_work");
+    obs::ParallelPhaseStats stats;
+    stats.procs = 2;
+    stats.parallel_time = 0.25;
+    stats.flops = 1000;
+    stats.messages = 4;
+    stats.words = 64;
+    stats.compute_time = {0.2, 0.15};
+    stats.send_time = {0.01, 0.02};
+    stats.idle_time = {0.04, 0.08};
+    par.set_parallel(stats);
+  }
+
+  ASSERT_EQ(prof.records().size(), 2u);
+  const obs::PhaseRecord& host = prof.records()[0];
+  EXPECT_EQ(host.name, "host_work");
+  EXPECT_FALSE(host.parallel);
+  EXPECT_GE(host.duration, 0.0);
+  const obs::PhaseRecord& par = prof.records()[1];
+  EXPECT_EQ(par.name, "spmd_work");
+  EXPECT_TRUE(par.parallel);
+  // A parallel phase's duration is the backend time, not host wall time.
+  EXPECT_GE(par.duration, 0.25);
+  EXPECT_EQ(par.stats.procs, 2);
+  EXPECT_EQ(par.stats.flops, 1000);
+
+  std::ostringstream out;
+  prof.write_json(out);
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"name\": \"spmd_work\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"parallel\": true"), std::string::npos);
+  EXPECT_NE(json.find("\"ranks\": ["), std::string::npos);
+
+  std::ostringstream report;
+  obs::write_metrics_report(report);
+  const std::string rep = report.str();
+  EXPECT_NE(rep.find("\"metrics\""), std::string::npos);
+  EXPECT_NE(rep.find("\"phases\""), std::string::npos);
+
+  prof.clear();
+  obs::Tracer::instance().clear();
+}
+
+}  // namespace
+}  // namespace sparts

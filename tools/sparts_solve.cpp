@@ -8,6 +8,7 @@
 // the full pipeline, and prints analysis statistics, timings, and the
 // residual.  With --procs > 1 the distributed pipeline runs on the
 // simulated T3D-like machine and the per-phase simulated times are shown.
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <string>
@@ -15,6 +16,9 @@
 
 #include "common/table.hpp"
 #include "common/timer.hpp"
+#include "obs/metrics.hpp"
+#include "obs/phase.hpp"
+#include "obs/trace.hpp"
 #include "solver/condest.hpp"
 #include "solver/report.hpp"
 #include "solver/sparse_solver.hpp"
@@ -53,6 +57,17 @@ options:
   --report              print the full analysis report
   --condest             estimate the 1-norm condition number
   --amalgamate W,Z      relaxed supernodes: max width W, relax Z zeros/col
+
+observability:
+  --trace FILE.json     record per-rank event traces and write them as
+                        Chrome trace_event JSON (open in Perfetto or
+                        chrome://tracing).  Timestamps are virtual
+                        cost-model seconds on sim/checked backends, wall
+                        seconds on threads.  SPARTS_TRACE=FILE.json does
+                        the same; the flag wins.
+  --metrics FILE.json   collect counters / gauges / histograms (message
+                        sizes, kernel flop rates, per-phase splits) and
+                        write them plus the phase profile as JSON
   --help                this text
 )";
 }
@@ -94,6 +109,11 @@ int main(int argc, char** argv) {
     int refine = 0;
     bool report = false;
     bool condest = false;
+    std::string trace_path;
+    std::string metrics_path;
+    if (const char* env = std::getenv("SPARTS_TRACE")) {
+      if (*env != '\0') trace_path = env;
+    }
     solver::Options options;
 
     for (int i = 1; i < argc; ++i) {
@@ -124,6 +144,10 @@ int main(int argc, char** argv) {
         report = true;
       } else if (arg == "--condest") {
         condest = true;
+      } else if (arg == "--trace") {
+        trace_path = next();
+      } else if (arg == "--metrics") {
+        metrics_path = next();
       } else if (arg == "--amalgamate") {
         const std::string v = next();
         const auto comma = v.find(',');
@@ -141,6 +165,9 @@ int main(int argc, char** argv) {
         return 2;
       }
     }
+
+    if (!trace_path.empty()) obs::Tracer::instance().enable();
+    if (!metrics_path.empty()) obs::enable_metrics();
 
     sparse::SymmetricCsc a;
     if (!matrix_path.empty()) {
@@ -191,6 +218,21 @@ int main(int argc, char** argv) {
       const real_t resid =
           trisolve::relative_residual(a, result.x, b, nrhs);
       std::cout << "relative residual: " << resid << "\n";
+      if (!trace_path.empty()) {
+        if (obs::Tracer::instance().write_chrome_trace_file(trace_path)) {
+          std::cerr << "trace written to " << trace_path << "\n";
+        } else {
+          std::cerr << "error: cannot write trace to " << trace_path << "\n";
+        }
+      }
+      if (!metrics_path.empty()) {
+        if (obs::write_metrics_report_file(metrics_path)) {
+          std::cerr << "metrics written to " << metrics_path << "\n";
+        } else {
+          std::cerr << "error: cannot write metrics to " << metrics_path
+                    << "\n";
+        }
+      }
       return resid < 1e-8 ? 0 : 1;
     }
 

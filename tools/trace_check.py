@@ -1,0 +1,166 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace_event JSON file written by sparts (--trace).
+
+Checks:
+  * the file is well-formed JSON with a traceEvents array;
+  * every event has the required fields for its phase type;
+  * per-track (pid, tid) timestamps are monotone non-decreasing in file
+    order (the exporter writes each ring buffer oldest-first);
+  * span begin/end events ("B"/"E") are balanced per track, with no "E"
+    before its "B" and non-negative span durations;
+  * instants carry a scope ("s").
+
+With --summary (default) prints a per-phase table from the host track's
+phase-category spans: duration, event counts per category inside the
+phase interval.
+
+Exit status: 0 when the trace passes all checks, 1 otherwise.
+
+Usage:
+  tools/trace_check.py trace.json
+  tools/trace_check.py --quiet trace.json another.json
+"""
+
+import argparse
+import json
+import sys
+from collections import defaultdict
+
+
+def fail(errors, msg):
+    errors.append(msg)
+
+
+def check_trace(path, errors):
+    """Validate one trace file; returns the parsed events (or None)."""
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(errors, f"{path}: cannot parse: {e}")
+        return None
+
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        fail(errors, f"{path}: missing traceEvents array")
+        return None
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        fail(errors, f"{path}: traceEvents is not a list")
+        return None
+
+    last_ts = {}       # (pid, tid) -> last timestamp seen
+    open_spans = {}    # (pid, tid) -> stack of (name, ts)
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            fail(errors, f"{path}: event {i} is not an object")
+            continue
+        ph = ev.get("ph")
+        if ph is None:
+            fail(errors, f"{path}: event {i} has no ph")
+            continue
+        if ph == "M":
+            continue  # metadata carries no timestamp
+        name = ev.get("name")
+        ts = ev.get("ts")
+        if not isinstance(name, str) or not name:
+            fail(errors, f"{path}: event {i} has no name")
+        if not isinstance(ts, (int, float)):
+            fail(errors, f"{path}: event {i} ({name!r}) has no numeric ts")
+            continue
+        key = (ev.get("pid", 0), ev.get("tid", 0))
+        if key in last_ts and ts < last_ts[key] - 1e-9:
+            fail(errors,
+                 f"{path}: event {i} ({name!r}) ts {ts} goes backwards on "
+                 f"track pid={key[0]} tid={key[1]} (prev {last_ts[key]})")
+        last_ts[key] = ts
+
+        if ph == "B":
+            open_spans.setdefault(key, []).append((name, ts))
+        elif ph == "E":
+            stack = open_spans.get(key, [])
+            if not stack:
+                fail(errors,
+                     f"{path}: event {i} ({name!r}) ends a span that was "
+                     f"never begun on track {key}")
+                continue
+            bname, bts = stack.pop()
+            if ts < bts - 1e-9:
+                fail(errors,
+                     f"{path}: span {bname!r} on track {key} has negative "
+                     f"duration ({bts} -> {ts})")
+        elif ph == "i":
+            if ev.get("s") not in ("t", "p", "g"):
+                fail(errors,
+                     f"{path}: instant {i} ({name!r}) has no scope 's'")
+        elif ph == "C":
+            pass
+        else:
+            fail(errors, f"{path}: event {i} has unknown ph {ph!r}")
+
+    for key, stack in open_spans.items():
+        for name, ts in stack:
+            fail(errors,
+                 f"{path}: span {name!r} begun at ts {ts} on track {key} "
+                 f"was never ended")
+    return events
+
+
+def phase_summary(path, events):
+    """Per-phase table from the host track's phase-category spans."""
+    # Phase spans live on the host track (thread_name "host/phases").
+    phases = []  # (name, begin_ts, end_ts)
+    stack = []
+    for ev in events:
+        if ev.get("ph") == "B" and ev.get("cat") == "phase":
+            stack.append((ev["name"], ev["ts"]))
+        elif ev.get("ph") == "E" and ev.get("cat") == "phase" and stack:
+            name, begin = stack.pop()
+            phases.append((name, begin, ev["ts"]))
+    if not phases:
+        print(f"{path}: no phase spans recorded")
+        return
+
+    by_cat = defaultdict(lambda: defaultdict(int))
+    for ev in events:
+        if ev.get("ph") not in ("B", "i"):
+            continue
+        ts = ev.get("ts", 0)
+        cat = ev.get("cat", "?")
+        for name, begin, end in phases:
+            if begin - 1e-9 <= ts <= end + 1e-9:
+                by_cat[name][cat] += 1
+
+    print(f"{path}: {len(phases)} phase(s)")
+    header = f"  {'phase':<16} {'ms':>10}  events by category"
+    print(header)
+    for name, begin, end in phases:
+        cats = by_cat.get(name, {})
+        detail = ", ".join(
+            f"{c}={n}" for c, n in sorted(cats.items()) if c != "phase")
+        print(f"  {name:<16} {(end - begin) / 1000.0:>10.3f}  {detail}")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("traces", nargs="+", help="trace JSON files to check")
+    ap.add_argument("--quiet", action="store_true",
+                    help="suppress the per-phase summary table")
+    args = ap.parse_args()
+
+    errors = []
+    for path in args.traces:
+        events = check_trace(path, errors)
+        if events is not None and not args.quiet:
+            phase_summary(path, events)
+
+    if errors:
+        for e in errors:
+            print(f"FAIL: {e}", file=sys.stderr)
+        print(f"{len(errors)} problem(s) found", file=sys.stderr)
+        return 1
+    print(f"OK: {len(args.traces)} trace(s) passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
