@@ -41,6 +41,21 @@ class DeadlockError : public Error {
   explicit DeadlockError(const std::string& what) : Error(what) {}
 };
 
+/// A bounded wait gave up: the reliability envelope (exec/reliable.hpp)
+/// exhausted its retransmit budget, or a deadline-based abort fired.
+/// Carries the per-rank progress report composed by the envelope.
+class TimeoutError : public Error {
+ public:
+  explicit TimeoutError(const std::string& what) : Error(what) {}
+};
+
+/// Thrown by exec::FaultyBackend when a FaultPlan crash event fires on a
+/// rank — models a rank dying mid-run so shutdown paths can be tested.
+class InjectedFault : public Error {
+ public:
+  explicit InjectedFault(const std::string& what) : Error(what) {}
+};
+
 /// The checked execution backend (exec::CheckedBackend) finished a run
 /// with correctness findings — wildcard-receive races, tag collisions,
 /// orphaned sends, or deadlock wait-for cycles — and was configured to

@@ -1,0 +1,41 @@
+// Cheap NaN/Inf screening for the numeric hot paths.
+//
+// A single non-finite value produced (or received) during factorization
+// or triangular solution silently poisons every downstream entry; with
+// message loss in the picture it can also masquerade as a protocol bug.
+// check_finite() turns it into an immediate NumericalError naming the
+// producer.  The `_cheap` form is gated on SPARTS_CHECKS >= cheap, which
+// is the default level; benchmark runs (SPARTS_CHECKS=off) skip the scan.
+#pragma once
+
+#include <cmath>
+#include <span>
+#include <string>
+
+#include "common/checks.hpp"
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace sparts {
+
+/// Throw NumericalError if any entry of `values` is NaN or infinite.
+/// `what` names the data ("fw token", "extend-add payload"); `id` is a
+/// context index (supernode, panel) included in the message.
+inline void check_finite(std::span<const real_t> values, const char* what,
+                         index_t id) {
+  for (std::size_t z = 0; z < values.size(); ++z) {
+    if (!std::isfinite(values[z])) {
+      throw NumericalError(std::string(what) + ": non-finite value at entry " +
+                           std::to_string(z) + " (context " +
+                           std::to_string(id) + ")");
+    }
+  }
+}
+
+/// check_finite() gated on the cheap validation level.
+inline void check_finite_cheap(std::span<const real_t> values,
+                               const char* what, index_t id) {
+  if (checks_at_least(CheckLevel::cheap)) check_finite(values, what, id);
+}
+
+}  // namespace sparts

@@ -8,6 +8,7 @@
 #include <string>
 
 #include "common/error.hpp"
+#include "dense/pivot.hpp"
 
 namespace sparts::dense::ref {
 
@@ -85,10 +86,9 @@ void panel_cholesky(index_t m, index_t t, real_t* a, index_t lda,
                     index_t col_offset) {
   for (index_t k = 0; k < t; ++k) {
     real_t* ak = a + k * lda;
-    const real_t d = ak[k];
+    real_t d = ak[k];
     if (!(d > 0.0)) {
-      throw NumericalError("panel_cholesky: non-positive pivot at column " +
-                           std::to_string(col_offset + k));
+      d = resolve_bad_pivot(d, "panel_cholesky", col_offset + k);
     }
     const real_t dk = std::sqrt(d);
     ak[k] = dk;

@@ -1,0 +1,60 @@
+#include "dense/pivot.hpp"
+
+#include <atomic>
+#include <cmath>
+#include <string>
+
+#include "common/error.hpp"
+#include "obs/metrics.hpp"
+
+namespace sparts::dense {
+
+namespace {
+
+// Packed into one atomic word so a concurrent set/read tears nothing:
+// callers set the policy before launching ranks, but reads happen from
+// every factorization thread.
+std::atomic<int> g_mode{static_cast<int>(PivotMode::fail)};
+std::atomic<double> g_rel_floor{1e-12};
+std::atomic<std::int64_t> g_perturbations{0};
+
+}  // namespace
+
+void set_pivot_policy(const PivotPolicy& policy) {
+  g_mode.store(static_cast<int>(policy.mode), std::memory_order_relaxed);
+  g_rel_floor.store(policy.rel_floor, std::memory_order_relaxed);
+}
+
+PivotPolicy pivot_policy() {
+  PivotPolicy p;
+  p.mode = static_cast<PivotMode>(g_mode.load(std::memory_order_relaxed));
+  p.rel_floor = g_rel_floor.load(std::memory_order_relaxed);
+  return p;
+}
+
+std::int64_t pivot_perturbations() {
+  return g_perturbations.load(std::memory_order_relaxed);
+}
+
+void reset_pivot_perturbations() {
+  g_perturbations.store(0, std::memory_order_relaxed);
+}
+
+real_t resolve_bad_pivot(real_t d, const char* what, index_t column) {
+  const PivotPolicy policy = pivot_policy();
+  if (policy.mode == PivotMode::fail || !std::isfinite(d)) {
+    throw NumericalError(std::string(what) +
+                         ": non-positive pivot at column " +
+                         std::to_string(column) +
+                         (std::isfinite(d) ? "" : " (non-finite)"));
+  }
+  const double scale = std::max(std::abs(static_cast<double>(d)), 1.0);
+  const real_t boosted = static_cast<real_t>(policy.rel_floor * scale);
+  g_perturbations.fetch_add(1, std::memory_order_relaxed);
+  if (obs::metrics_enabled()) {
+    obs::metrics().counter("numeric.pivot_perturbations").add(1);
+  }
+  return boosted;
+}
+
+}  // namespace sparts::dense

@@ -1,0 +1,54 @@
+// Process-wide pivot policy for the Cholesky kernels.
+//
+// Every pivot in the code base funnels through two sites —
+// ref::panel_cholesky (which the tiled kernels and the multifrontal /
+// parallel factorizations delegate their diagonal blocks to) and
+// numeric::simplicial_cholesky.  Both consult this policy when a computed
+// diagonal entry is not safely positive:
+//
+//   * PivotMode::fail (default): throw NumericalError, the historical
+//     behaviour.  A non-SPD input is a caller bug.
+//   * PivotMode::perturb: boost the pivot to a small positive floor
+//     (rel_floor * max(|d|, scale, 1)) and keep going, counting the
+//     perturbation.  The factor is then exact for a nearby matrix; the
+//     solver compensates with iterative refinement and reports the solve
+//     as "degraded" (see docs/robustness.md).
+//
+// The policy is process-wide (set before a factorization, read-only
+// during) and the perturbation counter is atomic, so concurrent ranks of
+// the thread backend can factor panels simultaneously.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace sparts::dense {
+
+enum class PivotMode {
+  fail,     ///< throw NumericalError on a non-positive pivot
+  perturb,  ///< boost the pivot to a positive floor and keep going
+};
+
+struct PivotPolicy {
+  PivotMode mode = PivotMode::fail;
+  /// Floor for a perturbed pivot, relative to the larger of the offending
+  /// diagonal magnitude and 1.
+  double rel_floor = 1e-12;
+};
+
+void set_pivot_policy(const PivotPolicy& policy);
+PivotPolicy pivot_policy();
+
+/// Perturbations applied since the last reset (atomic; safe to read from
+/// any thread).
+std::int64_t pivot_perturbations();
+void reset_pivot_perturbations();
+
+/// Resolve a questionable pivot according to the current policy: returns
+/// the value to use (the boosted floor under PivotMode::perturb) or throws
+/// NumericalError under PivotMode::fail.  `what` names the kernel for the
+/// error message; `column` is the global column index.
+real_t resolve_bad_pivot(real_t d, const char* what, index_t column);
+
+}  // namespace sparts::dense

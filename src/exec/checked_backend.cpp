@@ -157,6 +157,11 @@ struct CheckedBackend::Checker {
     t.push_back(std::move(line));
   }
 
+  void on_ctrl_message() {
+    std::lock_guard<std::mutex> lock(mutex);
+    ++report.ctrl_messages;
+  }
+
   void on_send(index_t rank, index_t dst, int tag, std::size_t bytes,
                double ts = -1.0) {
     std::lock_guard<std::mutex> lock(mutex);
@@ -403,6 +408,14 @@ class CheckedBackend::CheckedProcess final : public Process {
   const Topology& topology() const override { return inner_->topology(); }
 
   void send(index_t dst, int tag, std::span<const std::byte> payload) override {
+    if (tag == kCtrlTag) {
+      // Control-plane traffic (reliability envelope acks/nacks/fins) is
+      // at-least-once by design; auditing it against the solver's
+      // unique-tag discipline would only produce noise.
+      checker_->on_ctrl_message();
+      inner_->send(dst, tag, payload);
+      return;
+    }
     // Record before forwarding so the receiver always finds the record.
     const double ts = obs::Tracer::enabled() ? inner_->now() : -1.0;
     checker_->on_send(inner_->rank(), dst, tag, payload.size(), ts);
@@ -411,6 +424,7 @@ class CheckedBackend::CheckedProcess final : public Process {
 
   ReceivedMessage recv(index_t src, int tag) override {
     const index_t self = inner_->rank();
+    if (tag == kCtrlTag) return inner_->recv(src, tag);
     checker_->on_recv_blocked(self, src, tag);
     ReceivedMessage msg;
     try {
@@ -424,6 +438,18 @@ class CheckedBackend::CheckedProcess final : public Process {
                               ts);
     return msg;
   }
+
+  bool try_recv(index_t src, int tag, ReceivedMessage* out) override {
+    if (!inner_->try_recv(src, tag, out)) return false;
+    if (tag != kCtrlTag) {
+      const double ts = obs::Tracer::enabled() ? inner_->now() : -1.0;
+      checker_->on_recv_matched(inner_->rank(), src, tag, out->source,
+                                out->payload.size(), ts);
+    }
+    return true;
+  }
+
+  void poll_wait(double seconds) override { inner_->poll_wait(seconds); }
 
  private:
   Checker* checker_;

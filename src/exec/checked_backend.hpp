@@ -70,6 +70,12 @@ struct AnalysisReport {
   std::int64_t sends = 0;
   std::int64_t recvs = 0;
   std::int64_t wildcard_recvs = 0;
+  /// Messages on the reserved control tag (exec::kCtrlTag).  The
+  /// reliability envelope's ack/nack/fin traffic is at-least-once by
+  /// design, so it is counted here but exempt from the FIFO/race/orphan
+  /// bookkeeping that assumes the solver's one-message-per-(edge, tag)
+  /// discipline.
+  std::int64_t ctrl_messages = 0;
   /// True if the finding-deduplication table hit Options::max_findings
   /// and later findings were dropped.
   bool findings_truncated = false;

@@ -42,6 +42,12 @@ namespace sparts::exec {
 /// Wildcard source rank for recv.
 inline constexpr index_t kAnySource = -1;
 
+/// Reserved control tag used by the reliability envelope (exec/reliable.hpp)
+/// for its ack/nack/fin traffic.  Every algorithm-level tag scheme in the
+/// repo (partrisolve, parfact's TagScheme, redist) produces non-negative
+/// tags, so this negative plane can never collide with data traffic.
+inline constexpr int kCtrlTag = -1000001;
+
 /// A received message.
 struct ReceivedMessage {
   index_t source = -1;
@@ -81,6 +87,31 @@ class Process {
 
   /// Blocking receive.  `src` may be kAnySource.
   virtual ReceivedMessage recv(index_t src, int tag) = 0;
+
+  /// Non-blocking receive: if a message matching (src|kAnySource, tag) is
+  /// available *now*, consume it into `*out` and return true; otherwise
+  /// return false without waiting.  On the simulator "now" means the rank
+  /// first yields to the strict-handoff scheduler, so by the time it is
+  /// resumed every peer with an earlier clock has run as far as it can —
+  /// a false result is causally meaningful, not a scheduling accident.
+  /// The default implementation throws: backends (and decorators) that
+  /// support polling override it.  Only the reliability envelope should
+  /// call this directly (tools/lint.py flags other call sites).
+  virtual bool try_recv(index_t src, int tag, ReceivedMessage* out) {
+    (void)src;
+    (void)tag;
+    (void)out;
+    throw Error("try_recv is not supported by this Process implementation");
+  }
+
+  /// Sleep `seconds` of backend time while remaining responsive to
+  /// message delivery: on the simulator the rank's clock advances and the
+  /// scheduler token is handed back (so peers can run); on the threaded
+  /// backend the calling thread waits on its mailbox and wakes early when
+  /// a message arrives or the run aborts.  Used by polling loops between
+  /// try_recv attempts; defaults to elapse() for backends without a
+  /// dedicated implementation.
+  virtual void poll_wait(double seconds) { elapse(seconds); }
 
   virtual const CostModel& cost() const = 0;
   virtual const Topology& topology() const = 0;
@@ -123,6 +154,23 @@ class Process {
  protected:
   Process() = default;
 };
+
+/// Rethrow priority for per-rank errors collected by a backend's run():
+/// genuine root causes (numerical failures, injected faults, ...) beat
+/// TimeoutError (a bounded wait that gave up, usually because of the root
+/// cause) which beats DeadlockError (the secondary unwind of blocked
+/// peers).  Lower class = higher priority.
+inline int error_priority(const std::exception_ptr& err) {
+  try {
+    std::rethrow_exception(err);
+  } catch (const DeadlockError&) {
+    return 2;
+  } catch (const TimeoutError&) {
+    return 1;
+  } catch (...) {
+    return 0;
+  }
+}
 
 /// An execution backend: runs an SPMD function on nprocs() ranks.
 class Comm {

@@ -104,6 +104,28 @@ class ThreadBackend::RankProcess final : public Process {
     return ReceivedMessage{msg.src, msg.tag, std::move(msg.payload)};
   }
 
+  bool try_recv(index_t src, int tag, ReceivedMessage* out) override {
+    SPARTS_CHECK(src == kAnySource || (src >= 0 && src < nprocs()),
+                 "recv source " << src << " out of range");
+    SPARTS_CHECK(out != nullptr);
+    Message msg;
+    if (!backend_->take_match_now(rank_, src, tag, &msg)) return false;
+    ++stats_.messages_received;
+    stats_.words_received += static_cast<nnz_t>(
+        (msg.payload.size() + sizeof(real_t) - 1) / sizeof(real_t));
+    *out = ReceivedMessage{msg.src, msg.tag, std::move(msg.payload)};
+    return true;
+  }
+
+  void poll_wait(double seconds) override {
+    SPARTS_CHECK(seconds >= 0.0);
+    const Clock::time_point t0 = flush_busy();
+    backend_->wait_on_mailbox(rank_, seconds);
+    const Clock::time_point t1 = Clock::now();
+    stats_.idle_time += seconds_between(t0, t1);
+    last_mark_ = t1;
+  }
+
   const CostModel& cost() const override { return backend_->config_.cost; }
   const Topology& topology() const override { return backend_->topology_; }
 
@@ -192,6 +214,44 @@ ThreadBackend::Message ThreadBackend::take_match(index_t rank, index_t src,
   }
 }
 
+bool ThreadBackend::take_match_now(index_t rank, index_t src, int tag,
+                                   Message* out) {
+  Mailbox& mb = *mailboxes_[static_cast<std::size_t>(rank)];
+  std::lock_guard<std::mutex> lock(mb.mutex);
+  if (aborted_.load(std::memory_order_acquire)) {
+    throw DeadlockError("thread backend run aborted: rank " +
+                        std::to_string(rank) +
+                        " was polling when another rank failed");
+  }
+  for (auto it = mb.queue.begin(); it != mb.queue.end(); ++it) {
+    if (it->tag == tag && (src == kAnySource || it->src == src)) {
+      *out = std::move(*it);
+      mb.queue.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadBackend::wait_on_mailbox(index_t rank, double seconds) {
+  Mailbox& mb = *mailboxes_[static_cast<std::size_t>(rank)];
+  std::unique_lock<std::mutex> lock(mb.mutex);
+  if (aborted_.load(std::memory_order_acquire)) {
+    throw DeadlockError("thread backend run aborted: rank " +
+                        std::to_string(rank) +
+                        " was polling when another rank failed");
+  }
+  // Every peer finished: nothing new can arrive, so return at once and
+  // let the caller's retry budget expire instead of sleeping it out.
+  if (active_.load(std::memory_order_acquire) <= 1) return;
+  mb.cv.wait_for(lock, std::chrono::duration<double>(seconds));
+  if (aborted_.load(std::memory_order_acquire)) {
+    throw DeadlockError("thread backend run aborted: rank " +
+                        std::to_string(rank) +
+                        " was polling when another rank failed");
+  }
+}
+
 void ThreadBackend::wake_all_mailboxes() {
   for (auto& mb : mailboxes_) {
     { std::lock_guard<std::mutex> lock(mb->mutex); }
@@ -235,25 +295,21 @@ RunStats ThreadBackend::run(const std::function<void(Process&)>& spmd) {
   for (auto& t : threads) t.join();
   running_ = false;
 
-  // Propagate the first user error (non-deadlock errors take priority, so
-  // the root cause surfaces instead of the secondary unwinds it caused).
-  std::exception_ptr deadlock_error;
+  // Propagate the highest-priority user error (root causes beat timeouts
+  // beat secondary deadlock unwinds), ties broken by rank order.  All
+  // threads are already joined at this point, so a crashed rank can never
+  // leave peers running or mailboxes live past this rethrow.
+  std::exception_ptr best_error;
+  int best_priority = 3;
   for (const auto& err : errors_) {
     if (!err) continue;
-    bool is_deadlock = false;
-    try {
-      std::rethrow_exception(err);
-    } catch (const DeadlockError&) {
-      is_deadlock = true;
-    } catch (...) {
-    }
-    if (is_deadlock) {
-      if (!deadlock_error) deadlock_error = err;
-    } else {
-      std::rethrow_exception(err);
+    const int priority = error_priority(err);
+    if (priority < best_priority) {
+      best_priority = priority;
+      best_error = err;
     }
   }
-  if (deadlock_error) std::rethrow_exception(deadlock_error);
+  if (best_error) std::rethrow_exception(best_error);
 
   RunStats out;
   out.procs = std::move(stats);

@@ -75,6 +75,15 @@ class ThreadBackend final : public Comm {
   /// on abort, timeout, or when no live peer can still send one.
   Message take_match(index_t rank, index_t src, int tag);
 
+  /// Non-blocking variant: pop a match if one is queued right now.
+  /// Throws DeadlockError when the run has been aborted (a crashed rank
+  /// must not leave pollers spinning on a dead run).
+  bool take_match_now(index_t rank, index_t src, int tag, Message* out);
+
+  /// Wait up to `seconds` on the rank's mailbox; wakes early on message
+  /// delivery, peer exit, or abort (abort throws, as above).
+  void wait_on_mailbox(index_t rank, double seconds);
+
   /// Briefly acquire and release every mailbox lock, then notify: ensures
   /// ranks mid-predicate-check cannot miss an abort / peer-exit signal.
   void wake_all_mailboxes();

@@ -1,5 +1,6 @@
 #include "numeric/factor_io.hpp"
 
+#include <cmath>
 #include <cstring>
 #include <fstream>
 #include <vector>
@@ -25,23 +26,34 @@ void put_vec(std::ostream& out, const std::vector<T>& v) {
             static_cast<std::streamsize>(v.size() * sizeof(T)));
 }
 
+/// Truncation errors carry the byte offset the read started at, so a
+/// corrupt file can be diagnosed with a hex dump.
+[[noreturn]] void throw_truncated(std::streamoff at, const char* what) {
+  throw IoError("truncated factor file: failed reading " + std::string(what) +
+                " at byte offset " + std::to_string(at));
+}
+
 template <typename T>
-T get(std::istream& in) {
+T get(std::istream& in, const char* what) {
+  const std::streamoff at = in.tellg();
   T v{};
   in.read(reinterpret_cast<char*>(&v), sizeof(T));
-  if (!in) throw IoError("truncated factor file");
+  if (!in) throw_truncated(at, what);
   return v;
 }
 
 template <typename T>
-std::vector<T> get_vec(std::istream& in) {
-  const index_t count = get<index_t>(in);
-  SPARTS_CHECK(count >= 0 && count < (index_t{1} << 40),
-               "implausible array length in factor file");
+std::vector<T> get_vec(std::istream& in, const char* what) {
+  const index_t count = get<index_t>(in, what);
+  if (count < 0 || count >= (index_t{1} << 40)) {
+    throw IoError("implausible array length " + std::to_string(count) +
+                  " for " + std::string(what) + " in factor file");
+  }
+  const std::streamoff at = in.tellg();
   std::vector<T> v(static_cast<std::size_t>(count));
   in.read(reinterpret_cast<char*>(v.data()),
           static_cast<std::streamsize>(v.size() * sizeof(T)));
-  if (!in) throw IoError("truncated factor file");
+  if (!in) throw_truncated(at, what);
   return v;
 }
 
@@ -85,14 +97,28 @@ SupernodalFactor read_factor(std::istream& in) {
     throw IoError("not a SPARTS factor file (bad magic)");
   }
   symbolic::SupernodePartition part;
-  part.first_col = get_vec<index_t>(in);
-  part.rowptr = get_vec<nnz_t>(in);
-  part.rows = get_vec<index_t>(in);
-  part.stree.parent = get_vec<index_t>(in);
-  SPARTS_CHECK(!part.first_col.empty(), "empty partition in factor file");
-  // Rebuild sup_of_col from first_col.
+  part.first_col = get_vec<index_t>(in, "first_col");
+  part.rowptr = get_vec<nnz_t>(in, "rowptr");
+  part.rows = get_vec<index_t>(in, "rows");
+  part.stree.parent = get_vec<index_t>(in, "etree parents");
+  if (part.first_col.empty()) {
+    throw IoError("empty partition in factor file");
+  }
+  // Validate first_col before trusting it as the sup_of_col recipe: a
+  // corrupt back() would otherwise size an n-element vector from garbage.
   const index_t n = part.first_col.back();
   const index_t nsup = static_cast<index_t>(part.first_col.size()) - 1;
+  if (part.first_col.front() != 0 || n < 0 || n >= (index_t{1} << 40)) {
+    throw IoError("corrupt supernode boundaries in factor file (n = " +
+                  std::to_string(n) + ")");
+  }
+  for (index_t s = 0; s < nsup; ++s) {
+    if (part.first_col[static_cast<std::size_t>(s)] >
+        part.first_col[static_cast<std::size_t>(s) + 1]) {
+      throw IoError("non-monotone supernode boundaries in factor file at " +
+                    std::to_string(s));
+    }
+  }
   part.sup_of_col.assign(static_cast<std::size_t>(n), 0);
   for (index_t s = 0; s < nsup; ++s) {
     for (index_t j = part.first_col[static_cast<std::size_t>(s)];
@@ -103,17 +129,24 @@ SupernodalFactor read_factor(std::istream& in) {
   part.check_consistent();  // throws on any structural corruption
 
   SupernodalFactor factor(std::move(part));
-  const index_t stored = get<index_t>(in);
+  const index_t stored = get<index_t>(in, "supernode count");
   SPARTS_CHECK(stored == factor.num_supernodes(),
                "supernode count mismatch in factor file");
   for (index_t s = 0; s < factor.num_supernodes(); ++s) {
-    const index_t len = get<index_t>(in);
+    const index_t len = get<index_t>(in, "block length");
     auto block = factor.block(s);
     SPARTS_CHECK(len == static_cast<index_t>(block.size()),
                  "block size mismatch at supernode " << s);
+    const std::streamoff at = in.tellg();
     in.read(reinterpret_cast<char*>(block.data()),
             static_cast<std::streamsize>(block.size() * sizeof(real_t)));
-    if (!in) throw IoError("truncated factor file (values)");
+    if (!in) throw_truncated(at, "factor values");
+    for (std::size_t z = 0; z < block.size(); ++z) {
+      if (!std::isfinite(block[z])) {
+        throw IoError("non-finite factor value at supernode " +
+                      std::to_string(s) + ", entry " + std::to_string(z));
+      }
+    }
   }
   return factor;
 }

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "dense/pivot.hpp"
 
 namespace sparts::numeric {
 
@@ -65,10 +66,9 @@ CscFactor simplicial_cholesky(const sparse::SymmetricCsc& a,
     }
 
     // Compute column j of L from work.
-    const real_t diag = work[static_cast<std::size_t>(j)];
+    real_t diag = work[static_cast<std::size_t>(j)];
     if (!(diag > 0.0)) {
-      throw NumericalError("simplicial_cholesky: non-positive pivot at " +
-                           std::to_string(j));
+      diag = dense::resolve_bad_pivot(diag, "simplicial_cholesky", j);
     }
     const real_t dj = std::sqrt(diag);
     auto jrows = sym.col_rows(j);

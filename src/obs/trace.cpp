@@ -26,6 +26,8 @@ const char* to_string(Category cat) {
       return "kernel";
     case Category::check:
       return "check";
+    case Category::fault:
+      return "fault";
     case Category::other:
       return "other";
   }
@@ -86,6 +88,8 @@ std::pair<const char*, const char*> arg_labels(Category cat) {
       return {"flops", "n"};
     case Category::check:
       return {"src", "tag"};
+    case Category::fault:
+      return {"peer", "tag"};
     case Category::phase:
     case Category::other:
       return {"a", "b"};

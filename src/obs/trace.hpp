@@ -62,6 +62,7 @@ enum class Category : std::uint8_t {
   phase,       ///< solver pipeline phases (obs/phase.hpp)
   kernel,      ///< dense kernel dispatch
   check,       ///< checked-backend findings surfaced as instants
+  fault,       ///< fault injection + reliability envelope recovery events
   other,
 };
 

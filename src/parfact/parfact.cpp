@@ -9,12 +9,14 @@
 
 #include "common/checks.hpp"
 #include "common/error.hpp"
+#include "common/finite.hpp"
 #include "dense/kernels.hpp"
 #include "mapping/block_cyclic.hpp"
 #include "sparse/validate.hpp"
 #include "ordering/etree.hpp"
 #include "partrisolve/layout.hpp"
 #include "exec/collectives.hpp"
+#include "exec/reliable.hpp"
 
 namespace sparts::parfact {
 
@@ -160,6 +162,7 @@ Report parallel_multifrontal(exec::Comm& machine,
     for (index_t s = 0; s < nsup; ++s) {
       const exec::Group g = map.group[static_cast<std::size_t>(s)];
       if (!g.contains(w)) continue;
+      exec::note_progress(proc, "fact supernode " + std::to_string(s));
       SPARTS_TRACE_SPAN(proc, obs::Category::compute, "fact.supernode",
                         static_cast<std::int64_t>(s),
                         static_cast<std::int64_t>(g.count));
@@ -263,6 +266,7 @@ Report parallel_multifrontal(exec::Comm& machine,
           auto values = proc.recv_values<real_t>(src, tags.extend_add(c));
           SPARTS_CHECK(values.size() == mine.size(),
                        "extend-add payload size mismatch");
+          check_finite_cheap(values, "parfact extend-add payload", c);
           for (std::size_t z = 0; z < mine.size(); ++z) {
             front.at(geo.row_layout.local_of(mine[z].first),
                      geo.col_layout.local_of(mine[z].second)) += values[z];

@@ -6,6 +6,7 @@
 
 #include "common/checks.hpp"
 #include "common/error.hpp"
+#include "common/finite.hpp"
 #include "dense/kernels.hpp"
 #include "obs/span.hpp"
 #include "mapping/block_cyclic.hpp"
@@ -13,6 +14,7 @@
 #include "partrisolve/layout.hpp"
 #include "partrisolve/packets.hpp"
 #include "exec/collectives.hpp"
+#include "exec/reliable.hpp"
 
 namespace sparts::partrisolve {
 
@@ -235,6 +237,7 @@ void fw_pipelined_column_priority(exec::Process& proc, const PhaseContext& ctx,
       }
     } else {
       token = proc.recv_values<real_t>(prev, tag_fw_token(ctx, s, k));
+      check_finite_cheap(token, "fw token", s);
       if ((r + 1) % q != owner) {
         proc.send_values<real_t>(next, tag_fw_token(ctx, s, k), token);
       }
@@ -272,6 +275,7 @@ void fw_pipelined_row_priority(exec::Process& proc, const PhaseContext& ctx,
       SPARTS_CHECK(next_foreign <= k, "token ordering violated");
       auto tok =
           proc.recv_values<real_t>(prev, tag_fw_token(ctx, s, next_foreign));
+      check_finite_cheap(tok, "fw token", s);
       if ((r + 1) % q != lay.owner_of_block(next_foreign)) {
         proc.send_values<real_t>(next, tag_fw_token(ctx, s, next_foreign),
                                  tok);
@@ -443,6 +447,7 @@ void bw_pipelined(exec::Process& proc, const PhaseContext& ctx, index_t s,
     if (r != owner) {
       if (chain_pos != 0) {
         auto in = proc.recv_values<real_t>(prev, tag_bw_token(ctx, s, k));
+        check_finite_cheap(in, "bw token", s);
         SPARTS_CHECK(in.size() == acc.size());
         for (std::size_t z = 0; z < acc.size(); ++z) acc[z] += in[z];
         proc.compute_at(static_cast<double>(acc.size()),
@@ -452,6 +457,7 @@ void bw_pipelined(exec::Process& proc, const PhaseContext& ctx, index_t s,
     } else {
       if (q > 1) {
         auto in = proc.recv_values<real_t>(prev, tag_bw_token(ctx, s, k));
+        check_finite_cheap(in, "bw token", s);
         SPARTS_CHECK(in.size() == acc.size());
         for (std::size_t z = 0; z < acc.size(); ++z) acc[z] += in[z];
         proc.compute_at(static_cast<double>(acc.size()),
@@ -601,6 +607,7 @@ PhaseReport DistributedTrisolver::forward(exec::Comm& machine,
     for (index_t s = 0; s < nsup; ++s) {
       const exec::Group g = map_.group[static_cast<std::size_t>(s)];
       if (!g.contains(w)) continue;
+      exec::note_progress(proc, "fw supernode " + std::to_string(s));
       SPARTS_TRACE_SPAN(proc, obs::Category::compute, "fw.supernode",
                         static_cast<std::int64_t>(s),
                         static_cast<std::int64_t>(g.count));
@@ -616,6 +623,7 @@ PhaseReport DistributedTrisolver::forward(exec::Comm& machine,
           if (dst != w) continue;
           auto msg = proc.recv(src, tag_fw_contrib(c));
           RhsPacket pkt = unpack_rhs(msg.payload, m);
+          check_finite_cheap(pkt.values, "fw child contribution", c);
           // The child's tail already holds -L21*y, so contributions add.
           for (std::size_t z = 0; z < pkt.positions.size(); ++z) {
             const index_t lo = lay.local_of(pkt.positions[z]);
@@ -734,6 +742,7 @@ PhaseReport DistributedTrisolver::backward(exec::Comm& machine,
     for (index_t s = nsup - 1; s >= 0; --s) {
       const exec::Group g = map_.group[static_cast<std::size_t>(s)];
       if (!g.contains(w)) continue;
+      exec::note_progress(proc, "bw supernode " + std::to_string(s));
       SPARTS_TRACE_SPAN(proc, obs::Category::compute, "bw.supernode",
                         static_cast<std::int64_t>(s),
                         static_cast<std::int64_t>(g.count));
@@ -751,6 +760,7 @@ PhaseReport DistributedTrisolver::backward(exec::Comm& machine,
           if (child_rank != w) continue;
           auto msg = proc.recv(parent_rank, tag_bw_copy(s));
           RhsPacket pkt = unpack_rhs(msg.payload, m);
+          check_finite_cheap(pkt.values, "bw parent values", s);
           for (std::size_t z = 0; z < pkt.positions.size(); ++z) {
             const index_t lo = lay.local_of(pkt.positions[z]);
             for (index_t col = 0; col < m; ++col) {

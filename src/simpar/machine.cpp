@@ -35,6 +35,12 @@ class Machine::SimProcess final : public exec::Process {
   ReceivedMessage recv(index_t src, int tag) override {
     return machine_->do_recv(rank_, src, tag);
   }
+  bool try_recv(index_t src, int tag, ReceivedMessage* out) override {
+    return machine_->do_try_recv(rank_, src, tag, out);
+  }
+  void poll_wait(double seconds) override {
+    machine_->do_poll_wait(rank_, seconds);
+  }
   const CostModel& cost() const override { return machine_->cost(); }
   const Topology& topology() const override { return machine_->topology(); }
 
@@ -128,12 +134,13 @@ void Machine::do_send(index_t rank, index_t dst, int tag,
 }
 
 std::ptrdiff_t Machine::find_match(const ProcControl& pc, index_t src,
-                                   int tag) const {
+                                   int tag, double arrived_by) const {
   std::ptrdiff_t best = -1;
   for (std::size_t i = 0; i < pc.mailbox.size(); ++i) {
     const Message& m = pc.mailbox[i];
     if (m.tag != tag) continue;
     if (src != kAnySource && m.src != src) continue;
+    if (arrived_by >= 0.0 && m.arrival > arrived_by) continue;
     if (best == -1) {
       best = static_cast<std::ptrdiff_t>(i);
       continue;
@@ -194,6 +201,49 @@ ReceivedMessage Machine::do_recv(index_t rank, index_t src, int tag) {
                         "recv", pc.clock);
   }
   return ReceivedMessage{msg.src, msg.tag, std::move(msg.payload)};
+}
+
+bool Machine::do_try_recv(index_t rank, index_t src, int tag,
+                          ReceivedMessage* out) {
+  SPARTS_CHECK(src == kAnySource || (src >= 0 && src < config_.nprocs),
+               "recv source " << src << " out of range");
+  SPARTS_CHECK(out != nullptr);
+  std::unique_lock<std::mutex> lock(mutex_);
+  auto& pc = *procs_[static_cast<std::size_t>(rank)];
+
+  // Yield while staying `ready`: every peer whose effective time is
+  // earlier than our clock runs to quiescence before we look, so an empty
+  // answer is conservative-DES-correct, not a scheduling accident.
+  pc.scheduled = false;
+  schedule_next(lock);
+  pc.cv.wait(lock, [&pc] { return pc.scheduled; });
+
+  // Only messages that have *arrived* by our current clock are visible —
+  // a poll must not time-travel to a future arrival the way a blocking
+  // recv may.
+  const std::ptrdiff_t idx = find_match(pc, src, tag, pc.clock);
+  if (idx < 0) return false;
+  Message msg = std::move(pc.mailbox[static_cast<std::size_t>(idx)]);
+  pc.mailbox.erase(pc.mailbox.begin() + idx);
+  ++pc.stats.messages_received;
+  pc.stats.words_received += static_cast<nnz_t>(
+      (msg.payload.size() + sizeof(real_t) - 1) / sizeof(real_t));
+  *out = ReceivedMessage{msg.src, msg.tag, std::move(msg.payload)};
+  return true;
+}
+
+void Machine::do_poll_wait(index_t rank, double seconds) {
+  SPARTS_CHECK(seconds >= 0.0);
+  std::unique_lock<std::mutex> lock(mutex_);
+  auto& pc = *procs_[static_cast<std::size_t>(rank)];
+  pc.clock += seconds;
+  pc.stats.idle_time += seconds;
+  // Hand the token back so peers with earlier clocks can run; without
+  // this a polling loop would starve every other rank under the strict
+  // handoff scheduler.
+  pc.scheduled = false;
+  schedule_next(lock);
+  pc.cv.wait(lock, [&pc] { return pc.scheduled; });
 }
 
 bool Machine::schedule_next(std::unique_lock<std::mutex>&) {
@@ -302,25 +352,19 @@ RunStats Machine::run(const std::function<void(Proc&)>& spmd) {
   for (auto& t : threads) t.join();
   running_ = false;
 
-  // Propagate the first user error (non-deadlock errors take priority, so
-  // the root cause surfaces instead of the secondary deadlocks it caused).
-  std::exception_ptr deadlock_error;
+  // Propagate the highest-priority user error (root causes beat timeouts
+  // beat secondary deadlock unwinds), ties broken by rank order.
+  std::exception_ptr best_error;
+  int best_priority = 3;
   for (auto& pc : procs_) {
     if (!pc->error) continue;
-    bool is_deadlock = false;
-    try {
-      std::rethrow_exception(pc->error);
-    } catch (const DeadlockError&) {
-      is_deadlock = true;
-    } catch (...) {
-    }
-    if (is_deadlock) {
-      if (!deadlock_error) deadlock_error = pc->error;
-    } else {
-      std::rethrow_exception(pc->error);
+    const int priority = exec::error_priority(pc->error);
+    if (priority < best_priority) {
+      best_priority = priority;
+      best_error = pc->error;
     }
   }
-  if (deadlock_error) std::rethrow_exception(deadlock_error);
+  if (best_error) std::rethrow_exception(best_error);
 
   RunStats stats;
   stats.procs.reserve(procs_.size());

@@ -102,12 +102,16 @@ class Machine final : public exec::Comm {
   void do_send(index_t rank, index_t dst, int tag,
                std::span<const std::byte> payload);
   ReceivedMessage do_recv(index_t rank, index_t src, int tag);
+  bool do_try_recv(index_t rank, index_t src, int tag, ReceivedMessage* out);
+  void do_poll_wait(index_t rank, double seconds);
   double do_now(index_t rank) const;
 
   /// Index into the mailbox of the best (earliest-arrival) matching
-  /// message, or -1.
-  std::ptrdiff_t find_match(const ProcControl& pc, index_t src,
-                            int tag) const;
+  /// message, or -1.  With `arrived_by >= 0`, only messages whose arrival
+  /// time is <= arrived_by qualify (polling semantics: a message "exists"
+  /// for try_recv only once the rank's clock has caught up with it).
+  std::ptrdiff_t find_match(const ProcControl& pc, index_t src, int tag,
+                            double arrived_by = -1.0) const;
 
   /// Worker thread trampoline.
   void worker(index_t rank, const std::function<void(Proc&)>& spmd);

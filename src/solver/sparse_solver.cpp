@@ -4,10 +4,14 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "dense/pivot.hpp"
 #include "exec/checked_backend.hpp"
+#include "exec/fault_backend.hpp"
+#include "exec/reliable.hpp"
 #include "exec/thread_backend.hpp"
 #include "mapping/subtree_to_subcube.hpp"
 #include "numeric/multifrontal.hpp"
+#include "obs/metrics.hpp"
 #include "obs/phase.hpp"
 #include "ordering/mindeg.hpp"
 #include "ordering/nested_dissection.hpp"
@@ -58,8 +62,8 @@ symbolic::SupernodePartition analyze(const sparse::SymmetricCsc& a_perm,
 /// One fresh backend per phase, so each phase's stats start from zero (the
 /// simulator additionally requires a fresh Machine per run for determinism
 /// of message sequence numbers).
-std::unique_ptr<exec::Comm> make_backend(ExecutionBackend backend,
-                                         index_t p) {
+std::unique_ptr<exec::Comm> make_backend(ExecutionBackend backend, index_t p,
+                                         const Options& options) {
   switch (backend) {
     case ExecutionBackend::simulated: {
       simpar::Machine::Config cfg;
@@ -79,10 +83,33 @@ std::unique_ptr<exec::Comm> make_backend(ExecutionBackend backend,
       auto inner = make_backend(backend == ExecutionBackend::checked
                                     ? ExecutionBackend::simulated
                                     : ExecutionBackend::threads,
-                                p);
+                                p, options);
       exec::CheckedBackend::Options copts;
       copts.throw_on_findings = true;
       return std::make_unique<exec::CheckedBackend>(std::move(inner), copts);
+    }
+    case ExecutionBackend::faulty:
+    case ExecutionBackend::faulty_threads: {
+      // Reliable(Faulty(base)): faults are injected below the envelope so
+      // the envelope has to recover from them.  No CheckedBackend in this
+      // stack — its FIFO bookkeeping would (correctly) flag the injected
+      // duplicates as protocol violations.
+      const bool sim = backend == ExecutionBackend::faulty;
+      auto inner = make_backend(
+          sim ? ExecutionBackend::simulated : ExecutionBackend::threads, p,
+          options);
+      auto faulty = std::make_unique<exec::FaultyBackend>(std::move(inner),
+                                                          options.fault_plan);
+      exec::ReliableConfig rcfg = sim ? exec::ReliableConfig::for_simulated()
+                                      : exec::ReliableConfig::for_threads();
+      // NACK-driven retransmission plus the FIN linger make per-delivery
+      // acks redundant for correctness; skipping them halves the control
+      // traffic (the dominant clean-run envelope cost) at the price of
+      // retaining retransmit buffers for the phase, which is bounded.
+      // SPARTS_RELIABLE_ACKS=1 re-enables them.
+      rcfg.acks = false;
+      rcfg.from_env();
+      return std::make_unique<exec::ReliableBackend>(std::move(faulty), rcfg);
     }
   }
   throw InvalidArgument("unknown execution backend");
@@ -90,11 +117,47 @@ std::unique_ptr<exec::Comm> make_backend(ExecutionBackend backend,
 
 /// Fold a checked backend's per-phase report into the result totals.
 void accumulate_report(const exec::Comm& machine, ParallelSolveResult* r) {
-  const auto* checked = dynamic_cast<const exec::CheckedBackend*>(&machine);
-  if (checked == nullptr) return;
-  r->analysis_findings +=
-      static_cast<std::int64_t>(checked->report().findings.size());
-  r->checked_messages += checked->report().sends;
+  if (const auto* checked =
+          dynamic_cast<const exec::CheckedBackend*>(&machine)) {
+    r->analysis_findings +=
+        static_cast<std::int64_t>(checked->report().findings.size());
+    r->checked_messages += checked->report().sends;
+  }
+  if (const auto* reliable =
+          dynamic_cast<const exec::ReliableBackend*>(&machine)) {
+    r->retransmits += reliable->stats().retransmits;
+    r->dup_discarded += reliable->stats().dup_discarded;
+    if (const auto* faulty =
+            dynamic_cast<const exec::FaultyBackend*>(&reliable->inner())) {
+      r->faults_injected += faulty->stats().injected();
+    }
+  }
+}
+
+/// Per-rank progress of an enveloped run, empty for other backends.
+std::string progress_of(const exec::Comm& machine) {
+  const auto* reliable = dynamic_cast<const exec::ReliableBackend*>(&machine);
+  return reliable != nullptr ? reliable->progress_report() : std::string();
+}
+
+/// Run one parallel phase; exec-level failures (injected crash, envelope
+/// deadline, deadlock) become a structured SolveError naming the phase.
+template <typename Fn>
+auto run_phase(const char* phase, const exec::Comm& machine,
+               ParallelSolveResult* result, Fn&& fn) {
+  try {
+    return fn();
+  } catch (const InjectedFault& e) {
+    accumulate_report(machine, result);
+    throw SolveError(phase, e.what(), progress_of(machine));
+  } catch (const TimeoutError& e) {
+    accumulate_report(machine, result);
+    // The envelope already appended its progress report to the message.
+    throw SolveError(phase, e.what(), "");
+  } catch (const DeadlockError& e) {
+    accumulate_report(machine, result);
+    throw SolveError(phase, e.what(), progress_of(machine));
+  }
 }
 
 }  // namespace
@@ -103,6 +166,7 @@ SparseSolver SparseSolver::factorize(const sparse::SymmetricCsc& a,
                                      const Options& options) {
   SparseSolver s;
   dense::set_kernel_impl(options.kernels);
+  dense::set_pivot_policy({options.pivot_mode, options.pivot_rel_floor});
   {
     obs::PhaseScope phase("ordering");
     s.perm_ = compute_ordering(a, options.ordering);
@@ -194,6 +258,8 @@ ParallelSolveResult parallel_solve(const sparse::SymmetricCsc& a,
   SPARTS_CHECK(static_cast<index_t>(b.size()) == n * m);
 
   dense::set_kernel_impl(options.kernels);
+  dense::set_pivot_policy({options.pivot_mode, options.pivot_rel_floor});
+  const std::int64_t perturbations_before = dense::pivot_perturbations();
   const sparse::Permutation perm = [&] {
     obs::PhaseScope phase("ordering");
     return compute_ordering(a, options.ordering);
@@ -215,10 +281,12 @@ ParallelSolveResult parallel_solve(const sparse::SymmetricCsc& a,
   numeric::SupernodalFactor factor;
   {
     obs::PhaseScope phase("factorization");
-    auto machine = make_backend(options.backend, p);
-    const parfact::Report report =
-        parfact::parallel_multifrontal(*machine, a_perm, part, fact_map,
-                                       factor);
+    auto machine = make_backend(options.backend, p, options);
+    const parfact::Report report = run_phase(
+        "factorization", *machine, &result, [&] {
+          return parfact::parallel_multifrontal(*machine, a_perm, part,
+                                                fact_map, factor);
+        });
     result.factor_time = report.time();
     phase.set_parallel(exec::to_phase_stats(report.stats));
     accumulate_report(*machine, &result);
@@ -232,9 +300,12 @@ ParallelSolveResult parallel_solve(const sparse::SymmetricCsc& a,
   partrisolve::DistributedFactor local_factor;
   {
     obs::PhaseScope phase("redistribution");
-    auto machine = make_backend(options.backend, p);
-    const redist::Report report = redist::redistribute_factor(
-        *machine, factor, solve_map, redist_options, &local_factor);
+    auto machine = make_backend(options.backend, p, options);
+    const redist::Report report = run_phase(
+        "redistribution", *machine, &result, [&] {
+          return redist::redistribute_factor(*machine, factor, solve_map,
+                                             redist_options, &local_factor);
+        });
     result.redist_time = report.time();
     phase.set_parallel(exec::to_phase_stats(report.stats));
     accumulate_report(*machine, &result);
@@ -254,23 +325,71 @@ ParallelSolveResult parallel_solve(const sparse::SymmetricCsc& a,
     solver_options.block_size = redist_options.block_1d;
     partrisolve::DistributedTrisolver solver(factor, &local_factor,
                                              solve_map, solver_options);
-    auto machine = make_backend(options.backend, p);
+    auto machine = make_backend(options.backend, p, options);
     std::vector<real_t> y_perm(b.size(), 0.0);
     {
       obs::PhaseScope phase("forward");
-      const partrisolve::PhaseReport fw =
-          solver.forward(*machine, b_perm, y_perm, m);
+      const partrisolve::PhaseReport fw = run_phase(
+          "forward", *machine, &result,
+          [&] { return solver.forward(*machine, b_perm, y_perm, m); });
       result.forward_time = fw.time();
       phase.set_parallel(exec::to_phase_stats(fw.stats));
     }
     {
       obs::PhaseScope phase("backward");
-      const partrisolve::PhaseReport bw =
-          solver.backward(*machine, y_perm, x_perm, m);
+      const partrisolve::PhaseReport bw = run_phase(
+          "backward", *machine, &result,
+          [&] { return solver.backward(*machine, y_perm, x_perm, m); });
       result.backward_time = bw.time();
       phase.set_parallel(exec::to_phase_stats(bw.stats));
     }
     accumulate_report(*machine, &result);
+  }
+
+  // Graceful numerical degradation: if any pivot was perturbed, the factor
+  // is exact only for a nearby matrix.  Recover accuracy with host-side
+  // residual-driven refinement against the true matrix (parallel_solve
+  // holds the complete factor, so corrections use the sequential solver),
+  // and report the result as degraded.
+  result.perturbed_pivots =
+      dense::pivot_perturbations() - perturbations_before;
+  if (result.perturbed_pivots > 0) {
+    result.status = SolveStatus::degraded;
+    real_t b_norm = 0.0;
+    for (const real_t v : b_perm) b_norm += v * v;
+    b_norm = std::sqrt(b_norm);
+    std::vector<real_t> r_perm(b.size());
+    auto compute_residual = [&]() -> real_t {
+      real_t rn = 0.0;
+      for (index_t c = 0; c < m; ++c) {
+        std::vector<real_t> ax(static_cast<std::size_t>(n), 0.0);
+        a_perm.symv(1.0,
+                    std::span<const real_t>(
+                        x_perm.data() + static_cast<std::size_t>(c * n),
+                        static_cast<std::size_t>(n)),
+                    ax);
+        for (index_t k = 0; k < n; ++k) {
+          const std::size_t z = static_cast<std::size_t>(c * n + k);
+          r_perm[z] = b_perm[z] - ax[static_cast<std::size_t>(k)];
+          rn += r_perm[z] * r_perm[z];
+        }
+      }
+      return b_norm > 0.0 ? std::sqrt(rn) / b_norm : 0.0;
+    };
+    result.residual = compute_residual();
+    while (result.residual > options.refine_tolerance &&
+           result.refine_iterations < options.refine_max_iterations) {
+      std::vector<real_t> dx = r_perm;
+      trisolve::full_solve(factor, dx.data(), m);
+      for (std::size_t z = 0; z < x_perm.size(); ++z) x_perm[z] += dx[z];
+      ++result.refine_iterations;
+      const real_t next = compute_residual();
+      if (obs::metrics_enabled()) {
+        obs::metrics().counter("solve.refine_iterations").add(1);
+      }
+      if (!(next < result.residual)) break;  // stagnated (or NaN): stop
+      result.residual = next;
+    }
   }
 
   result.x.assign(b.size(), 0.0);

@@ -13,6 +13,8 @@
 
 #include "common/types.hpp"
 #include "dense/kernels.hpp"
+#include "dense/pivot.hpp"
+#include "exec/fault_backend.hpp"
 #include "numeric/supernodal_factor.hpp"
 #include "simpar/machine.hpp"
 #include "sparse/formats.hpp"
@@ -39,6 +41,13 @@ enum class ExecutionBackend {
   /// exec::CheckedBackend over the threaded backend: same audit on real
   /// concurrent executions.
   checked_threads,
+  /// Reliability envelope over fault injection over the simulator: the
+  /// FaultPlan in Options drops/duplicates/delays/reorders messages and
+  /// the envelope (sequence numbers, dedup, NACK-driven retransmission)
+  /// recovers, or aborts with a structured SolveError.  Deterministic.
+  faulty,
+  /// The same stack over the threaded backend, with wall-clock timeouts.
+  faulty_threads,
 };
 
 struct Options {
@@ -55,6 +64,19 @@ struct Options {
   /// environment variable, `tiled` when unset.  Flop counts — and hence
   /// simulated times — are identical for both.
   dense::KernelImpl kernels = dense::kernel_impl_from_env();
+  /// Fault scenario injected by the `faulty` / `faulty_threads` backends;
+  /// ignored by the others.
+  exec::FaultPlan fault_plan;
+  /// Pivot handling during factorization: `fail` throws NumericalError on
+  /// a non-positive pivot; `perturb` boosts it to a positive floor and
+  /// lets iterative refinement absorb the error (result status becomes
+  /// `degraded`).  See dense/pivot.hpp and docs/robustness.md.
+  dense::PivotMode pivot_mode = dense::PivotMode::fail;
+  double pivot_rel_floor = 1e-12;
+  /// Bound on the host-side refinement sweeps parallel_solve runs after a
+  /// degraded factorization, and the residual it tries to reach.
+  int refine_max_iterations = 5;
+  real_t refine_tolerance = 1e-10;
 };
 
 struct AnalysisInfo {
@@ -100,6 +122,36 @@ class SparseSolver {
   AnalysisInfo info_;
 };
 
+/// A parallel phase failed in a structured way: an injected crash, an
+/// exhausted retransmit budget (deadline abort), or a deadlock.  Carries
+/// which phase died, the root cause, and — when the run was under the
+/// reliability envelope — a per-rank progress report saying where every
+/// rank was when the run ended.
+class SolveError : public Error {
+ public:
+  SolveError(std::string phase, std::string cause, std::string progress)
+      : Error("parallel solve failed in " + phase + " phase: " + cause +
+              (progress.empty() ? "" : "\n" + progress)),
+        phase_(std::move(phase)),
+        cause_(std::move(cause)),
+        progress_(std::move(progress)) {}
+
+  const std::string& failed_phase() const { return phase_; }
+  const std::string& cause() const { return cause_; }
+  const std::string& progress() const { return progress_; }
+
+ private:
+  std::string phase_;
+  std::string cause_;
+  std::string progress_;
+};
+
+/// How much trust to put in ParallelSolveResult::x.
+enum class SolveStatus {
+  ok,        ///< direct solve, no numerical compromises
+  degraded,  ///< pivots were perturbed; x comes from iterative refinement
+};
+
 /// Result of a full distributed solve on the simulated machine.
 struct ParallelSolveResult {
   std::vector<real_t> x;       ///< solution, original ordering
@@ -114,6 +166,17 @@ struct ParallelSolveResult {
   /// sends were audited.
   std::int64_t analysis_findings = 0;
   std::int64_t checked_messages = 0;
+  /// Fault-tolerance accounting, summed over the parallel phases; all
+  /// zero unless a faulty backend (or perturbing pivot mode) was used.
+  SolveStatus status = SolveStatus::ok;
+  std::int64_t faults_injected = 0;   ///< drops/dups/delays/... injected
+  std::int64_t retransmits = 0;       ///< envelope recoveries
+  std::int64_t dup_discarded = 0;     ///< duplicate deliveries suppressed
+  std::int64_t perturbed_pivots = 0;  ///< pivots boosted during factorization
+  int refine_iterations = 0;          ///< host refinement sweeps performed
+  /// Relative residual ||b - A x|| / ||b|| after refinement; negative when
+  /// refinement did not run (clean direct solve, residual not computed).
+  real_t residual = -1.0;
 
   double solve_time() const { return forward_time + backward_time; }
 };

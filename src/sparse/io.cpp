@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cmath>
 #include <fstream>
 #include <iomanip>
 #include <sstream>
@@ -27,46 +28,70 @@ SymmetricCsc read_matrix_market(const std::string& path) {
 }
 
 SymmetricCsc read_matrix_market(std::istream& in) {
+  // Every parse failure names the 1-based line it came from: malformed
+  // matrices arrive from outside the process, so "bad entry at line 8812"
+  // has to carry the user all the way to the defect.
+  std::size_t lineno = 0;
   std::string line;
-  if (!std::getline(in, line)) throw IoError("empty matrix market stream");
+  auto fail = [&](const std::string& what) -> IoError {
+    return IoError("MatrixMarket line " + std::to_string(lineno) + ": " +
+                   what);
+  };
+
+  if (!std::getline(in, line)) throw IoError("empty MatrixMarket stream");
+  ++lineno;
   std::istringstream header(line);
   std::string banner, object, format, field, symmetry;
   header >> banner >> object >> format >> field >> symmetry;
   if (banner != "%%MatrixMarket" || lower(object) != "matrix" ||
       lower(format) != "coordinate") {
-    throw IoError("unsupported MatrixMarket header: " + line);
+    throw fail("unsupported header: " + line);
   }
   const bool pattern = lower(field) == "pattern";
   if (!pattern && lower(field) != "real" && lower(field) != "integer") {
-    throw IoError("unsupported MatrixMarket field: " + field);
+    throw fail("unsupported field: " + field);
   }
   if (lower(symmetry) != "symmetric") {
-    throw IoError("only symmetric matrices are supported, got: " + symmetry);
+    throw fail("only symmetric matrices are supported, got: " + symmetry);
   }
 
   // Skip comments.
+  bool have_sizes = false;
   while (std::getline(in, line)) {
-    if (!line.empty() && line[0] != '%') break;
+    ++lineno;
+    if (!line.empty() && line[0] != '%') {
+      have_sizes = true;
+      break;
+    }
   }
+  if (!have_sizes) throw fail("truncated stream: no size line");
   std::istringstream sizes(line);
   index_t rows = 0, cols = 0;
   nnz_t entries = 0;
   sizes >> rows >> cols >> entries;
-  if (!sizes || rows <= 0 || cols != rows) {
-    throw IoError("bad MatrixMarket size line: " + line);
+  if (!sizes || rows <= 0 || cols != rows || entries < 0) {
+    throw fail("bad size line: " + line);
   }
 
   Triplets t(rows, cols);
   for (nnz_t k = 0; k < entries; ++k) {
-    if (!std::getline(in, line)) throw IoError("truncated MatrixMarket body");
+    if (!std::getline(in, line)) {
+      ++lineno;
+      throw fail("truncated body: expected " + std::to_string(entries) +
+                 " entries, got " + std::to_string(k));
+    }
+    ++lineno;
     std::istringstream entry(line);
     index_t i = 0, j = 0;
     real_t v = 1.0;
     entry >> i >> j;
     if (!pattern) entry >> v;
-    if (!entry) throw IoError("bad MatrixMarket entry: " + line);
+    if (!entry) throw fail("bad entry: " + line);
     if (i < 1 || i > rows || j < 1 || j > cols) {
-      throw IoError("MatrixMarket index out of range: " + line);
+      throw fail("index out of range: " + line);
+    }
+    if (!std::isfinite(v)) {
+      throw fail("non-finite value: " + line);
     }
     t.add(i - 1, j - 1, v);
   }

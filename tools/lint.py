@@ -17,6 +17,13 @@ Rules (see docs/static_analysis.md):
   narrowing-cast  C-style casts to integer types hide narrowing and
                   signedness bugs.  Use static_cast, which clang-tidy and
                   -Wconversion can then reason about.
+  raw-try-recv    Process::try_recv is the reliability envelope's polling
+                  primitive (src/exec/reliable.cpp); algorithm code that
+                  polls directly bypasses sequence numbering, dedup and the
+                  retransmit protocol, silently forfeiting fault tolerance.
+                  Outside src/exec/ (and the backends implementing the
+                  primitive) use blocking recv(), and let the envelope poll.
+                  Tests are exempt: they probe the primitive deliberately.
 
 Suppress a finding by appending `// sparts-lint: allow(<rule>)` to the
 offending line.
@@ -63,6 +70,14 @@ RULES = [
         "message tag is an integer literal; derive tags from a named "
         "scheme or constant (unique (src, dst, tag) per in-flight message)",
         lambda rel: rel.parts[:1] == ("src",),
+    ),
+    (
+        "raw-try-recv",
+        re.compile(r"(?:\.|->)\s*try_recv\s*\("),
+        "direct try_recv polling outside the exec layer bypasses the "
+        "reliability envelope; use blocking recv()",
+        lambda rel: rel.parts[:1] == ("src",)
+        and rel.parts[:2] not in {("src", "exec"), ("src", "simpar")},
     ),
     (
         "narrowing-cast",

@@ -49,7 +49,9 @@ options:
                         checked (sim audited for races / tag collisions /
                         orphaned sends / deadlock cycles; findings fail
                         the run) | checked-threads (same audit over the
-                        threaded backend)  (default sim)
+                        threaded backend) | faulty (sim with the --faults
+                        scenario injected under the reliability envelope) |
+                        faulty-threads (same over threads)  (default sim)
   --kernels NAME        tiled (cache-blocked dense kernels) | ref (naive
                         loops; conformance oracle)  (default: SPARTS_KERNELS
                         environment variable, else tiled)
@@ -57,6 +59,15 @@ options:
   --report              print the full analysis report
   --condest             estimate the 1-norm condition number
   --amalgamate W,Z      relaxed supernodes: max width W, relax Z zeros/col
+
+robustness (see docs/robustness.md):
+  --faults SPEC         fault scenario for the faulty backends, e.g.
+                        seed=42,drop=0.05,dup=0.02,delay=0.1:0.01,
+                        reorder=0.05,stall=2@0.5,crash=1@40,max_faults=100
+  --pivot MODE          fail (throw on a non-positive pivot, default) |
+                        perturb (boost tiny pivots and recover accuracy
+                        with iterative refinement; result is "degraded")
+  SPARTS_TIMEOUT_MS / SPARTS_MAX_RETRY tune the reliability envelope.
 
 observability:
   --trace FILE.json     record per-rank event traces and write them as
@@ -79,7 +90,32 @@ solver::ExecutionBackend parse_backend(const std::string& s) {
   if (s == "checked-threads") {
     return solver::ExecutionBackend::checked_threads;
   }
+  if (s == "faulty") return solver::ExecutionBackend::faulty;
+  if (s == "faulty-threads") return solver::ExecutionBackend::faulty_threads;
   throw InvalidArgument("unknown backend: " + s);
+}
+
+/// Strict numeric argument parsing: the whole token must be an integer in
+/// range.  std::stoll alone would accept "8abc" and throw opaque
+/// std::invalid_argument on junk.
+long long parse_count(const std::string& flag, const std::string& value) {
+  std::size_t used = 0;
+  long long v = 0;
+  try {
+    v = std::stoll(value, &used);
+  } catch (const std::exception&) {
+    throw InvalidArgument(flag + " expects an integer, got: " + value);
+  }
+  if (used != value.size()) {
+    throw InvalidArgument(flag + " expects an integer, got: " + value);
+  }
+  return v;
+}
+
+dense::PivotMode parse_pivot(const std::string& s) {
+  if (s == "fail") return dense::PivotMode::fail;
+  if (s == "perturb") return dense::PivotMode::perturb;
+  throw InvalidArgument("unknown pivot mode: " + s);
 }
 
 dense::KernelImpl parse_kernels(const std::string& s) {
@@ -101,6 +137,25 @@ solver::OrderingMethod parse_ordering(const std::string& s) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Outlives the try so a structured solve failure can still flush the
+  // metrics collected up to the fault (the CI fault matrix uploads them).
+  std::string metrics_path;
+  std::string trace_path;
+  auto flush_observability = [&] {
+    if (!trace_path.empty()) {
+      if (obs::Tracer::instance().write_chrome_trace_file(trace_path)) {
+        std::cerr << "trace written to " << trace_path << "\n";
+      } else {
+        std::cerr << "error: cannot write trace to " << trace_path << "\n";
+      }
+    }
+    if (metrics_path.empty()) return;
+    if (obs::write_metrics_report_file(metrics_path)) {
+      std::cerr << "metrics written to " << metrics_path << "\n";
+    } else {
+      std::cerr << "error: cannot write metrics to " << metrics_path << "\n";
+    }
+  };
   try {
     std::string matrix_path;
     index_t grid2 = 0, grid3 = 0;
@@ -109,8 +164,6 @@ int main(int argc, char** argv) {
     int refine = 0;
     bool report = false;
     bool condest = false;
-    std::string trace_path;
-    std::string metrics_path;
     if (const char* env = std::getenv("SPARTS_TRACE")) {
       if (*env != '\0') trace_path = env;
     }
@@ -125,21 +178,25 @@ int main(int argc, char** argv) {
       if (arg == "--matrix") {
         matrix_path = next();
       } else if (arg == "--grid2d") {
-        grid2 = std::stoll(next());
+        grid2 = parse_count(arg, next());
       } else if (arg == "--grid3d") {
-        grid3 = std::stoll(next());
+        grid3 = parse_count(arg, next());
       } else if (arg == "--nrhs") {
-        nrhs = std::stoll(next());
+        nrhs = parse_count(arg, next());
       } else if (arg == "--ordering") {
         options.ordering = parse_ordering(next());
       } else if (arg == "--procs") {
-        procs = std::stoll(next());
+        procs = parse_count(arg, next());
       } else if (arg == "--backend") {
         options.backend = parse_backend(next());
       } else if (arg == "--kernels") {
         options.kernels = parse_kernels(next());
+      } else if (arg == "--faults") {
+        options.fault_plan = exec::FaultPlan::parse(next());
+      } else if (arg == "--pivot") {
+        options.pivot_mode = parse_pivot(next());
       } else if (arg == "--refine") {
-        refine = std::stoi(next());
+        refine = static_cast<int>(parse_count(arg, next()));
       } else if (arg == "--report") {
         report = true;
       } else if (arg == "--condest") {
@@ -154,8 +211,10 @@ int main(int argc, char** argv) {
         if (comma == std::string::npos) {
           throw InvalidArgument("--amalgamate expects W,Z");
         }
-        options.amalgamation_max_width = std::stoll(v.substr(0, comma));
-        options.amalgamation_relax_zeros = std::stoll(v.substr(comma + 1));
+        options.amalgamation_max_width =
+            parse_count(arg, v.substr(0, comma));
+        options.amalgamation_relax_zeros =
+            parse_count(arg, v.substr(comma + 1));
       } else if (arg == "--help" || arg == "-h") {
         usage();
         return 0;
@@ -194,10 +253,14 @@ int main(int argc, char** argv) {
       const auto result = solver::parallel_solve(a, b, nrhs, procs, options);
       const bool sim =
           options.backend == solver::ExecutionBackend::simulated ||
-          options.backend == solver::ExecutionBackend::checked;
+          options.backend == solver::ExecutionBackend::checked ||
+          options.backend == solver::ExecutionBackend::faulty;
       const bool checked =
           options.backend == solver::ExecutionBackend::checked ||
           options.backend == solver::ExecutionBackend::checked_threads;
+      const bool faulty =
+          options.backend == solver::ExecutionBackend::faulty ||
+          options.backend == solver::ExecutionBackend::faulty_threads;
       std::cout << (sim ? "\nsimulated machine: " : "\nthread backend: ")
                 << procs
                 << (sim ? " processors (T3D cost model)\n"
@@ -215,24 +278,24 @@ int main(int argc, char** argv) {
                   << " sends checked, " << result.analysis_findings
                   << " findings\n";
       }
+      if (faulty) {
+        std::cout << "fault injection: " << options.fault_plan.summary()
+                  << "\n"
+                  << "  injected " << result.faults_injected
+                  << " fault(s), recovered with " << result.retransmits
+                  << " retransmit(s), " << result.dup_discarded
+                  << " duplicate(s) discarded\n";
+      }
+      if (result.status == solver::SolveStatus::degraded) {
+        std::cout << "status: DEGRADED — " << result.perturbed_pivots
+                  << " pivot(s) perturbed, " << result.refine_iterations
+                  << " refinement sweep(s), residual " << result.residual
+                  << "\n";
+      }
       const real_t resid =
           trisolve::relative_residual(a, result.x, b, nrhs);
       std::cout << "relative residual: " << resid << "\n";
-      if (!trace_path.empty()) {
-        if (obs::Tracer::instance().write_chrome_trace_file(trace_path)) {
-          std::cerr << "trace written to " << trace_path << "\n";
-        } else {
-          std::cerr << "error: cannot write trace to " << trace_path << "\n";
-        }
-      }
-      if (!metrics_path.empty()) {
-        if (obs::write_metrics_report_file(metrics_path)) {
-          std::cerr << "metrics written to " << metrics_path << "\n";
-        } else {
-          std::cerr << "error: cannot write metrics to " << metrics_path
-                    << "\n";
-        }
-      }
+      flush_observability();
       return resid < 1e-8 ? 0 : 1;
     }
 
@@ -271,6 +334,13 @@ int main(int argc, char** argv) {
                 << est.norm_ainv << ", " << est.solves_used << " solves)\n";
     }
     return resid < 1e-8 ? 0 : 1;
+  } catch (const solver::SolveError& e) {
+    // Structured failure: which phase died, why, and where every rank was.
+    std::cerr << "solve failed in phase: " << e.failed_phase() << "\n"
+              << "cause: " << e.cause() << "\n";
+    if (!e.progress().empty()) std::cerr << e.progress() << "\n";
+    flush_observability();
+    return 3;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;
