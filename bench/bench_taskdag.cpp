@@ -1,0 +1,209 @@
+// E18 — task-DAG backend vs thread backend on irregular elimination trees.
+//
+// Both backends run the *same* SPMD programs (parallel multifrontal
+// factorization; pipelined forward+backward trisolve) and produce
+// bit-identical numbers; what differs is how the p ranks are executed:
+//
+//   * threads — one OS thread per rank.  Every blocked recv parks the
+//     thread on a condvar, and every matching send pays a kernel wakeup
+//     plus a scheduler migration.  With p ranks on few cores the run is
+//     mostly handoffs.
+//   * tasks — every rank is a fiber multiplexed on a work-stealing worker
+//     pool (as many workers as cores).  A blocked recv suspends the fiber
+//     in user space and the matching send resumes it on the sender's
+//     worker: the handoff is a context switch, not a kernel round trip.
+//
+// The gap is widest where the elimination tree gives the schedule the
+// least slack and the message:compute ratio is highest — the two
+// irregular workloads below:
+//
+//   * chain — a tridiagonal matrix in natural order: the etree is a path,
+//     every supernode has width 1, and the root path is shared by the
+//     whole group, so the solve is one long pipelined relay.
+//   * wide-flat — a block-diagonal forest of small chains: thousands of
+//     independent tiny supernodes, so the cost is almost pure task
+//     dispatch.
+//
+// A nested-dissection grid rides along as the regular-etree control.
+// Reported per (workload, p): best-of-k wall seconds per backend for the
+// factorization and the forward+backward solve, and the tasks-over-threads
+// speedups.  JSON lands in BENCH_taskdag.json (tools/bench_gate.py keeps
+// the speedups honest in CI).
+#include <algorithm>
+#include <thread>
+
+#include "bench_common.hpp"
+#include "exec/stats.hpp"
+#include "exec/task_backend.hpp"
+#include "exec/thread_backend.hpp"
+#include "mapping/subtree_to_subcube.hpp"
+#include "parfact/parfact.hpp"
+
+namespace sparts::bench {
+namespace {
+
+/// Prepare a problem keeping the natural ordering (the irregular-etree
+/// workloads are *constructed* in the shape we want; reordering would
+/// destroy it).
+PreparedProblem prepare_natural(std::string name, std::string description,
+                                sparse::SymmetricCsc a) {
+  PreparedProblem out;
+  out.name = std::move(name);
+  out.description = std::move(description);
+  out.a = std::move(a);
+  const symbolic::SymbolicFactor sym = symbolic::symbolic_cholesky(out.a);
+  out.part = symbolic::fundamental_supernodes(sym);
+  out.factor_flops = sym.factorization_flops();
+  out.factor_nnz = sym.nnz();
+  out.factor = numeric::multifrontal_cholesky(out.a, out.part);
+  return out;
+}
+
+/// Tridiagonal SPD matrix of order n: path graph, path etree.
+sparse::SymmetricCsc chain_matrix(index_t n) {
+  sparse::Triplets t(n, n);
+  for (index_t i = 0; i < n; ++i) {
+    t.add(i, i, 4.0);
+    if (i + 1 < n) t.add(i + 1, i, -1.0);
+  }
+  return sparse::SymmetricCsc::from_triplets(t);
+}
+
+/// Block-diagonal forest: `blocks` independent tridiagonal chains of
+/// order `bs` each.  The etree is maximally wide and flat.
+sparse::SymmetricCsc wide_flat_matrix(index_t blocks, index_t bs) {
+  const index_t n = blocks * bs;
+  sparse::Triplets t(n, n);
+  for (index_t b = 0; b < blocks; ++b) {
+    const index_t base = b * bs;
+    for (index_t i = 0; i < bs; ++i) {
+      t.add(base + i, base + i, 4.0);
+      if (i + 1 < bs) t.add(base + i + 1, base + i, -1.0);
+    }
+  }
+  return sparse::SymmetricCsc::from_triplets(t);
+}
+
+/// Wall seconds of one parallel multifrontal factorization on `comm`.
+double factor_time(const PreparedProblem& prob, exec::Comm& comm) {
+  const mapping::SubcubeMapping map = mapping::subtree_to_subcube(
+      prob.part, comm.nprocs(), mapping::factor_work_weights(prob.part));
+  numeric::SupernodalFactor factor;
+  const parfact::Report report =
+      parfact::parallel_multifrontal(comm, prob.a, prob.part, map, factor);
+  return report.time();
+}
+
+/// Wall seconds of one pipelined forward+backward solve on `comm`.
+double solve_time(const PreparedProblem& prob, exec::Comm& comm, index_t m) {
+  const mapping::SubcubeMapping map =
+      mapping::subtree_to_subcube(prob.part, comm.nprocs());
+  partrisolve::DistributedTrisolver solver(prob.factor, map, {});
+  const index_t n = prob.a.n();
+  Rng rng(1234);
+  std::vector<real_t> b = sparse::random_rhs(n, m, rng);
+  std::vector<real_t> x(static_cast<std::size_t>(n * m), 0.0);
+  auto [fw, bw] = solver.solve(comm, b, x, m);
+  return fw.time() + bw.time();
+}
+
+void run_workload(const char* etree, const PreparedProblem& prob, index_t m,
+                  BenchJson& json) {
+  std::cout << "\nworkload: " << prob.description << "  N = " << prob.a.n()
+            << "  supernodes = " << prob.part.num_supernodes()
+            << "  nrhs = " << m << "\n";
+  TextTable table({"p", "fact thr (s)", "fact task (s)", "fact gain",
+                   "solve thr (s)", "solve task (s)", "solve gain"});
+  constexpr int kReps = 3;
+  for (index_t p = 8; p <= std::min<index_t>(bench_max_p(), 16); p *= 2) {
+    double fact_thr = 0.0, fact_task = 0.0;
+    double solve_thr = 0.0, solve_task = 0.0;
+    for (int rep = 0; rep < kReps; ++rep) {
+      {
+        exec::ThreadBackend::Config cfg;
+        cfg.nprocs = p;
+        exec::ThreadBackend backend(cfg);
+        const double ft = factor_time(prob, backend);
+        const double st = solve_time(prob, backend, m);
+        fact_thr = rep == 0 ? ft : std::min(fact_thr, ft);
+        solve_thr = rep == 0 ? st : std::min(solve_thr, st);
+      }
+      {
+        exec::TaskBackend::Config cfg;
+        cfg.nprocs = p;
+        exec::TaskBackend backend(cfg);
+        const double ft = factor_time(prob, backend);
+        const double st = solve_time(prob, backend, m);
+        fact_task = rep == 0 ? ft : std::min(fact_task, ft);
+        solve_task = rep == 0 ? st : std::min(solve_task, st);
+      }
+    }
+    table.new_row();
+    table.add(static_cast<long long>(p));
+    table.add(fact_thr, 5);
+    table.add(fact_task, 5);
+    table.add(exec::speedup(fact_thr, fact_task), 2);
+    table.add(solve_thr, 5);
+    table.add(solve_task, 5);
+    table.add(exec::speedup(solve_thr, solve_task), 2);
+    json.row()
+        .field("workload", prob.description)
+        .field("etree", std::string(etree))
+        .field("n", prob.a.n())
+        .field("supernodes", prob.part.num_supernodes())
+        .field("nrhs", m)
+        .field("p", p)
+        .field("factor_threads_seconds", fact_thr)
+        .field("factor_tasks_seconds", fact_task)
+        .field("factor_tasks_speedup", exec::speedup(fact_thr, fact_task))
+        .field("solve_threads_seconds", solve_thr)
+        .field("solve_tasks_seconds", solve_task)
+        .field("solve_tasks_speedup", exec::speedup(solve_thr, solve_task));
+  }
+  std::cout << table;
+}
+
+void run() {
+  print_header("E18 (taskdag)",
+               "fiber task-DAG backend vs one-thread-per-rank on irregular "
+               "etrees");
+  std::cout << "hardware threads on this host: "
+            << std::thread::hardware_concurrency() << "\n";
+  const double scale = bench_scale();
+  BenchJson json("taskdag", "SPARTS_BENCH_TASKDAG_JSON");
+
+  const index_t chain_n =
+      std::max<index_t>(600, static_cast<index_t>(4000 * scale));
+  run_workload("chain",
+               prepare_natural("chain",
+                               "chain " + std::to_string(chain_n),
+                               chain_matrix(chain_n)),
+               4, json);
+
+  const index_t blocks =
+      std::max<index_t>(32, static_cast<index_t>(192 * scale));
+  const index_t bs = 16;
+  run_workload(
+      "wide-flat",
+      prepare_natural("wideflat",
+                      "wide-flat " + std::to_string(blocks) + "x" +
+                          std::to_string(bs),
+                      wide_flat_matrix(blocks, bs)),
+      4, json);
+
+  const index_t k = std::max<index_t>(31, static_cast<index_t>(63 * scale));
+  run_workload("grid-nd", prepare_grid(k, k), 4, json);
+
+  json.write();
+  std::cout << "\nReading: 'gain' columns are thread-backend wall clock over "
+               "task-backend wall\nclock for the identical SPMD program "
+               "(both backends produce bit-identical\nnumbers).  The chain "
+               "and wide-flat rows are the irregular etrees the task\n"
+               "backend exists for; the grid row is the regular-etree "
+               "control.\n";
+}
+
+}  // namespace
+}  // namespace sparts::bench
+
+int main() { sparts::bench::run(); }

@@ -33,7 +33,9 @@ std::vector<std::byte> serialize(const std::vector<Packet>& packets) {
   std::vector<std::byte> out(bytes);
   std::size_t off = 0;
   auto put = [&](const void* src, std::size_t len) {
-    std::memcpy(out.data() + off, src, len);
+    // len == 0 carries a null src (empty vector::data()); memcpy's
+    // pointer arguments must be non-null even then.
+    if (len != 0) std::memcpy(out.data() + off, src, len);
     off += len;
   };
   for (const auto& p : packets) {
@@ -51,7 +53,7 @@ std::vector<Packet> deserialize(std::span<const std::byte> bytes) {
   std::size_t off = 0;
   auto get = [&](void* dst, std::size_t len) {
     SPARTS_CHECK(off + len <= bytes.size(), "truncated packet stream");
-    std::memcpy(dst, bytes.data() + off, len);
+    if (len != 0) std::memcpy(dst, bytes.data() + off, len);
     off += len;
   };
   while (off < bytes.size()) {

@@ -139,7 +139,9 @@ class Process {
     SPARTS_CHECK(msg.payload.size() % sizeof(T) == 0,
                  "payload size not a multiple of the element size");
     std::vector<T> out(msg.payload.size() / sizeof(T));
-    std::memcpy(out.data(), msg.payload.data(), msg.payload.size());
+    if (!msg.payload.empty()) {
+      std::memcpy(out.data(), msg.payload.data(), msg.payload.size());
+    }
     return out;
   }
 

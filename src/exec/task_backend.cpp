@@ -1,0 +1,626 @@
+#include "exec/task_backend.hpp"
+
+#include <ucontext.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+// Sanitizer fiber annotations: ASan must be told about stack switches or
+// its stack bookkeeping flags false use-after-return; TSan must be told or
+// it sees one OS thread's accesses interleaved across many logical stacks
+// and reports phantom races.  Both are attribute-detected so the plain
+// build compiles them away entirely.
+#if defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define SPARTS_ASAN_FIBERS 1
+#endif
+#if __has_feature(thread_sanitizer)
+#define SPARTS_TSAN_FIBERS 1
+#endif
+#endif
+#if defined(__SANITIZE_ADDRESS__) && !defined(SPARTS_ASAN_FIBERS)
+#define SPARTS_ASAN_FIBERS 1
+#endif
+#if defined(__SANITIZE_THREAD__) && !defined(SPARTS_TSAN_FIBERS)
+#define SPARTS_TSAN_FIBERS 1
+#endif
+#ifdef SPARTS_ASAN_FIBERS
+#include <sanitizer/common_interface_defs.h>
+#endif
+#ifdef SPARTS_TSAN_FIBERS
+#include <sanitizer/tsan_interface.h>
+#endif
+
+namespace sparts::exec {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_between(Clock::time_point from, Clock::time_point to) {
+  return std::chrono::duration<double>(to - from).count();
+}
+
+std::size_t env_stack_kb() {
+  const char* v = std::getenv("SPARTS_TASK_STACK_KB");
+  if (v == nullptr || *v == '\0') return 0;
+  const long kb = std::strtol(v, nullptr, 10);
+  return kb > 0 ? static_cast<std::size_t>(kb) : 0;
+}
+
+#ifdef SPARTS_ASAN_FIBERS
+// ASan fake-stack handle of the worker thread, saved while it is parked
+// inside a fiber.  One per OS thread: a worker resumes exactly one fiber
+// at a time.
+thread_local void* tl_worker_fake_stack = nullptr;
+#endif
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Fiber
+// ---------------------------------------------------------------------------
+
+struct TaskBackend::Fiber {
+  index_t rank = -1;
+  TaskBackend* backend = nullptr;
+  const std::function<void(Process&)>* spmd = nullptr;
+
+  ucontext_t ctx{};
+  /// The suspended worker context to swap back into; refreshed on every
+  /// resume because the fiber may migrate between workers.
+  ucontext_t* return_ctx = nullptr;
+  std::unique_ptr<std::byte[]> stack;
+  std::size_t stack_size = 0;
+
+  /// Why the fiber handed control back to its worker.
+  enum class Pause : std::uint8_t { none, blocked, yielded, finished };
+  Pause pause = Pause::none;
+
+  // Wait descriptor, valid while pause == blocked.
+  index_t wait_src = 0;
+  int wait_tag = 0;
+  /// Context fully saved and registered as waiting — only then may a
+  /// sender re-ready the fiber.  Guarded by state_mutex_.
+  bool parked = false;
+  /// Set under state_mutex_ when the run aborts; the fiber throws on its
+  /// next resume.
+  bool abort_on_resume = false;
+  std::string abort_msg;
+
+  std::unique_ptr<FiberProcess> proc;
+  ProcStats stats;
+  std::exception_ptr error;
+
+#ifdef SPARTS_TSAN_FIBERS
+  void* tsan_fiber = nullptr;
+  void* tsan_return = nullptr;
+#endif
+#ifdef SPARTS_ASAN_FIBERS
+  void* asan_fake = nullptr;  ///< fiber's fake stack while suspended
+  const void* asan_return_bottom = nullptr;
+  std::size_t asan_return_size = 0;
+#endif
+};
+
+/// Bookkeeping on arrival inside a fiber (first entry or after resume).
+void TaskBackend::finish_switch_into_fiber(Fiber& f) {
+#ifdef SPARTS_ASAN_FIBERS
+  __sanitizer_finish_switch_fiber(f.asan_fake, &f.asan_return_bottom,
+                                  &f.asan_return_size);
+  f.asan_fake = nullptr;
+#else
+  (void)f;
+#endif
+}
+
+/// Suspend the calling fiber: save its context and return to the worker.
+/// On a later resume, execution continues after the swapcontext.
+void TaskBackend::switch_out_of_fiber(Fiber& f) {
+  const bool finishing = f.pause == Fiber::Pause::finished;
+#ifdef SPARTS_ASAN_FIBERS
+  __sanitizer_start_switch_fiber(finishing ? nullptr : &f.asan_fake,
+                                 f.asan_return_bottom, f.asan_return_size);
+#endif
+#ifdef SPARTS_TSAN_FIBERS
+  __tsan_switch_to_fiber(f.tsan_return, 0);
+#endif
+  (void)finishing;
+  SPARTS_CHECK(swapcontext(&f.ctx, f.return_ctx) == 0,
+               "swapcontext out of fiber failed");
+  // Resumed (never reached when finishing).
+  finish_switch_into_fiber(f);
+}
+
+// ---------------------------------------------------------------------------
+// FiberProcess — the Process implementation handed to SPMD code
+// ---------------------------------------------------------------------------
+
+// Stats accounting mirrors ThreadBackend::RankProcess: wall time between
+// communication calls is compute time, time suspended in recv is idle
+// time.  Fibers are non-preemptive, so between communication calls a rank
+// runs uninterrupted and the wall interval is honestly its own.
+class TaskBackend::FiberProcess final : public Process {
+ public:
+  FiberProcess(TaskBackend* backend, Fiber* fiber)
+      : backend_(backend), fiber_(fiber), last_mark_(Clock::now()) {}
+
+  index_t rank() const override { return fiber_->rank; }
+  index_t nprocs() const override { return backend_->config_.nprocs; }
+
+  double now() const override {
+    return seconds_between(backend_->epoch_, Clock::now());
+  }
+
+  void compute(double flops, FlopKind /*kind*/) override {
+    SPARTS_CHECK(flops >= 0.0);
+    stats_.flops += static_cast<nnz_t>(flops);
+  }
+
+  void compute_at(double flops, double /*seconds_per_flop*/) override {
+    SPARTS_CHECK(flops >= 0.0);
+    stats_.flops += static_cast<nnz_t>(flops);
+  }
+
+  void elapse(double seconds) override { SPARTS_CHECK(seconds >= 0.0); }
+
+  void send(index_t dst, int tag,
+            std::span<const std::byte> payload) override {
+    SPARTS_CHECK(dst >= 0 && dst < nprocs(),
+                 "send destination " << dst << " out of range");
+    const Clock::time_point t0 = flush_busy();
+    backend_->deliver(
+        *fiber_,
+        dst, Message{fiber_->rank, tag,
+                     std::vector<std::byte>(payload.begin(), payload.end())});
+    const Clock::time_point t1 = Clock::now();
+    stats_.send_time += seconds_between(t0, t1);
+    last_mark_ = t1;
+    ++stats_.messages_sent;
+    stats_.words_sent += static_cast<nnz_t>(
+        (payload.size() + sizeof(real_t) - 1) / sizeof(real_t));
+    if (obs::Tracer::enabled()) {
+      auto& tracer = obs::Tracer::instance();
+      const auto r32 = static_cast<std::int32_t>(fiber_->rank);
+      tracer.record_local(r32, obs::EventKind::span_begin, obs::Category::comm,
+                          "send", seconds_between(backend_->epoch_, t0),
+                          static_cast<std::int64_t>(payload.size()),
+                          static_cast<std::int64_t>(dst));
+      tracer.record_local(r32, obs::EventKind::span_end, obs::Category::comm,
+                          "send", seconds_between(backend_->epoch_, t1));
+    }
+    if (obs::metrics_enabled()) {
+      obs::metrics().histogram("comm.message_bytes")
+          .observe(static_cast<std::int64_t>(payload.size()));
+    }
+  }
+
+  ReceivedMessage recv(index_t src, int tag) override {
+    SPARTS_CHECK(src == kAnySource || (src >= 0 && src < nprocs()),
+                 "recv source " << src << " out of range");
+    const Clock::time_point t0 = flush_busy();
+    Message msg = backend_->take_match(*fiber_, src, tag);
+    const Clock::time_point t1 = Clock::now();
+    stats_.idle_time += seconds_between(t0, t1);
+    last_mark_ = t1;
+    ++stats_.messages_received;
+    stats_.words_received += static_cast<nnz_t>(
+        (msg.payload.size() + sizeof(real_t) - 1) / sizeof(real_t));
+    if (obs::Tracer::enabled()) {
+      auto& tracer = obs::Tracer::instance();
+      const auto r32 = static_cast<std::int32_t>(fiber_->rank);
+      tracer.record_local(r32, obs::EventKind::span_begin, obs::Category::comm,
+                          "recv", seconds_between(backend_->epoch_, t0),
+                          static_cast<std::int64_t>(msg.payload.size()),
+                          static_cast<std::int64_t>(msg.src));
+      tracer.record_local(r32, obs::EventKind::span_end, obs::Category::comm,
+                          "recv", seconds_between(backend_->epoch_, t1));
+    }
+    return ReceivedMessage{msg.src, msg.tag, std::move(msg.payload)};
+  }
+
+  bool try_recv(index_t src, int tag, ReceivedMessage* out) override {
+    SPARTS_CHECK(src == kAnySource || (src >= 0 && src < nprocs()),
+                 "recv source " << src << " out of range");
+    SPARTS_CHECK(out != nullptr);
+    Message msg;
+    if (!backend_->take_match_now(*fiber_, src, tag, &msg)) return false;
+    ++stats_.messages_received;
+    stats_.words_received += static_cast<nnz_t>(
+        (msg.payload.size() + sizeof(real_t) - 1) / sizeof(real_t));
+    *out = ReceivedMessage{msg.src, msg.tag, std::move(msg.payload)};
+    return true;
+  }
+
+  void poll_wait(double seconds) override {
+    SPARTS_CHECK(seconds >= 0.0);
+    const Clock::time_point t0 = flush_busy();
+    backend_->fiber_poll_wait(*fiber_, seconds);
+    const Clock::time_point t1 = Clock::now();
+    stats_.idle_time += seconds_between(t0, t1);
+    last_mark_ = t1;
+  }
+
+  const CostModel& cost() const override { return backend_->config_.cost; }
+  const Topology& topology() const override { return backend_->topology_; }
+
+  /// Close the final busy segment and stamp the finishing time.
+  ProcStats finish() {
+    flush_busy();
+    stats_.clock = now();
+    return stats_;
+  }
+
+ private:
+  Clock::time_point flush_busy() {
+    const Clock::time_point t = Clock::now();
+    stats_.compute_time += seconds_between(last_mark_, t);
+    last_mark_ = t;
+    return t;
+  }
+
+  TaskBackend* backend_;
+  Fiber* fiber_;
+  ProcStats stats_;
+  Clock::time_point last_mark_;
+};
+
+// ---------------------------------------------------------------------------
+// TaskBackend
+// ---------------------------------------------------------------------------
+
+TaskBackend::TaskBackend(const Config& config)
+    : config_(config), topology_(config.topology, config.nprocs) {
+  SPARTS_CHECK(config.nprocs >= 1, "need at least one processor");
+  std::size_t kb = config.stack_kb;
+  if (kb == 0) kb = env_stack_kb();
+  if (kb == 0) kb = 1024;
+  stack_bytes_ = kb * 1024;
+}
+
+TaskBackend::~TaskBackend() = default;
+
+// makecontext passes only ints; split the fiber pointer across two.
+void TaskBackend::trampoline(unsigned hi, unsigned lo) {
+  const std::uintptr_t bits =
+      (static_cast<std::uintptr_t>(hi) << 32U) | static_cast<std::uintptr_t>(lo);
+  Fiber* f = reinterpret_cast<Fiber*>(bits);
+  f->backend->fiber_main(*f);
+}
+
+void TaskBackend::fiber_main(Fiber& f) {
+  finish_switch_into_fiber(f);
+  try {
+    (*f.spmd)(*f.proc);
+  } catch (...) {
+    f.error = std::current_exception();
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    abort_all_locked("task backend run aborted: rank " +
+                     std::to_string(f.rank) + " failed");
+  }
+  f.stats = f.proc->finish();
+  f.pause = Fiber::Pause::finished;
+  switch_out_of_fiber(f);
+  SPARTS_CHECK(false, "finished fiber resumed");  // unreachable
+}
+
+void TaskBackend::schedule(Fiber& f, int affinity, bool low_priority) {
+  scheduler_->submit(
+      [this, fp = &f](const JobContext& ctx) { resume(*fp, ctx); }, affinity,
+      low_priority);
+}
+
+void TaskBackend::resume(Fiber& f, const JobContext& ctx) {
+  const bool tracing = obs::Tracer::enabled();
+  if (tracing) {
+    auto& tracer = obs::Tracer::instance();
+    const auto r32 = static_cast<std::int32_t>(f.rank);
+    const double ts = seconds_between(epoch_, Clock::now());
+    if (ctx.stolen) {
+      tracer.record_local(r32, obs::EventKind::instant, obs::Category::task,
+                          "task_steal", ts,
+                          static_cast<std::int64_t>(ctx.worker));
+    }
+    tracer.record_local(r32, obs::EventKind::span_begin, obs::Category::task,
+                        "task_run", ts, static_cast<std::int64_t>(ctx.worker),
+                        static_cast<std::int64_t>(f.rank));
+  }
+
+  ucontext_t sched_ctx;
+  f.return_ctx = &sched_ctx;
+#ifdef SPARTS_ASAN_FIBERS
+  __sanitizer_start_switch_fiber(&tl_worker_fake_stack, f.stack.get(),
+                                 f.stack_size);
+#endif
+#ifdef SPARTS_TSAN_FIBERS
+  f.tsan_return = __tsan_get_current_fiber();
+  __tsan_switch_to_fiber(f.tsan_fiber, 0);
+#endif
+  SPARTS_CHECK(swapcontext(&sched_ctx, &f.ctx) == 0,
+               "swapcontext into fiber failed");
+#ifdef SPARTS_ASAN_FIBERS
+  __sanitizer_finish_switch_fiber(tl_worker_fake_stack, nullptr, nullptr);
+#endif
+
+  if (tracing) {
+    obs::Tracer::instance().record_local(
+        static_cast<std::int32_t>(f.rank), obs::EventKind::span_end,
+        obs::Category::task, "task_run",
+        seconds_between(epoch_, Clock::now()));
+  }
+
+  switch (f.pause) {
+    case Fiber::Pause::finished: {
+#ifdef SPARTS_TSAN_FIBERS
+      __tsan_destroy_fiber(f.tsan_fiber);
+      f.tsan_fiber = nullptr;
+#endif
+      {
+        std::lock_guard<std::mutex> lock(state_mutex_);
+        --live_;
+        // A rank exiting can expose a deadlock: peers blocked on it wait
+        // forever now.
+        check_stalled_locked();
+      }
+      done_->count_down();
+      break;
+    }
+    case Fiber::Pause::blocked: {
+      std::unique_lock<std::mutex> lock(state_mutex_);
+      // The context is saved now; re-check the window between the fiber
+      // releasing the lock and reaching the worker: a message may have
+      // arrived, or the run may have aborted.
+      if (aborted_) {
+        if (!f.abort_on_resume) {
+          f.abort_on_resume = true;
+          f.abort_msg = "task backend run aborted: rank " +
+                        std::to_string(f.rank) +
+                        " was waiting in recv when another rank failed";
+        }
+        lock.unlock();
+        schedule(f, ctx.worker);
+      } else if (find_match_locked(f.rank, f.wait_src, f.wait_tag,
+                                   /*pop=*/false, nullptr)) {
+        lock.unlock();
+        schedule(f, ctx.worker);
+      } else {
+        f.parked = true;
+        ++blocked_;
+        check_stalled_locked();
+      }
+      break;
+    }
+    case Fiber::Pause::yielded:
+      // Steal end of the current worker's deque: queue-mates run first.
+      schedule(f, ctx.worker, /*low_priority=*/true);
+      break;
+    case Fiber::Pause::none:
+      SPARTS_CHECK(false, "fiber suspended without a pause reason");
+  }
+}
+
+bool TaskBackend::find_match_locked(index_t rank, index_t src, int tag,
+                                    bool pop, Message* out) {
+  auto& box = mailboxes_[static_cast<std::size_t>(rank)];
+  for (auto it = box.begin(); it != box.end(); ++it) {
+    if (it->tag == tag && (src == kAnySource || it->src == src)) {
+      if (pop) {
+        *out = std::move(*it);
+        box.erase(it);
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+void TaskBackend::abort_all_locked(const std::string& reason) {
+  if (aborted_) return;
+  aborted_ = true;
+  for (auto& fp : fibers_) {
+    Fiber& f = *fp;
+    if (!f.parked) continue;
+    f.parked = false;
+    --blocked_;
+    f.abort_on_resume = true;
+    f.abort_msg = reason + "; rank " + std::to_string(f.rank) +
+                  " was waiting for src=" + std::to_string(f.wait_src) +
+                  " tag=" + std::to_string(f.wait_tag);
+    schedule(f, /*affinity=*/-1);
+  }
+}
+
+void TaskBackend::check_stalled_locked() {
+  if (aborted_ || live_ == 0 || blocked_ < live_) return;
+  // Every live fiber is suspended in recv with no matching message and
+  // every possible sender is itself suspended or finished: deadlock.
+  std::string who;
+  for (const auto& fp : fibers_) {
+    if (fp->parked) {
+      who = "rank " + std::to_string(fp->rank) + " waits for src=" +
+            std::to_string(fp->wait_src) + " tag=" +
+            std::to_string(fp->wait_tag);
+      break;
+    }
+  }
+  abort_all_locked("task backend deadlock: every live rank is blocked in "
+                   "recv (" + who + ") and no sender can run");
+}
+
+TaskBackend::Message TaskBackend::take_match(Fiber& f, index_t src, int tag) {
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lock(state_mutex_);
+      if (f.abort_on_resume) {
+        f.abort_on_resume = false;
+        throw DeadlockError(f.abort_msg);
+      }
+      if (aborted_) {
+        throw DeadlockError("task backend run aborted: rank " +
+                            std::to_string(f.rank) +
+                            " was waiting in recv when another rank failed");
+      }
+      Message out;
+      if (find_match_locked(f.rank, src, tag, /*pop=*/true, &out)) {
+        return out;
+      }
+      f.wait_src = src;
+      f.wait_tag = tag;
+      f.pause = Fiber::Pause::blocked;
+    }
+    // Unlocked handoff: the worker re-checks the mailbox under the lock
+    // once the context is parked, so a send racing with this suspend is
+    // never lost (senders only re-ready fibers whose parked flag is set).
+    switch_out_of_fiber(f);
+    if (obs::Tracer::enabled()) {
+      obs::Tracer::instance().record_local(
+          static_cast<std::int32_t>(f.rank), obs::EventKind::instant,
+          obs::Category::task, "task_ready",
+          seconds_between(epoch_, Clock::now()), static_cast<std::int64_t>(tag));
+    }
+  }
+}
+
+bool TaskBackend::take_match_now(Fiber& f, index_t src, int tag,
+                                 Message* out) {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  if (aborted_) {
+    throw DeadlockError("task backend run aborted: rank " +
+                        std::to_string(f.rank) +
+                        " was polling when another rank failed");
+  }
+  return find_match_locked(f.rank, src, tag, /*pop=*/true, out);
+}
+
+void TaskBackend::deliver(Fiber& sender, index_t dst, Message msg) {
+  const int tag = msg.tag;
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  mailboxes_[static_cast<std::size_t>(dst)].push_back(std::move(msg));
+  Fiber& d = *fibers_[static_cast<std::size_t>(dst)];
+  if (d.parked && d.wait_tag == tag &&
+      (d.wait_src == kAnySource || d.wait_src == sender.rank)) {
+    d.parked = false;
+    --blocked_;
+    // Re-ready on the sending fiber's worker: the payload is hot in its
+    // cache, and the LIFO deque runs the consumer as soon as the sender
+    // next suspends — producer-consumer chains execute depth-first.
+    schedule(d, /*affinity=*/-1);
+  }
+}
+
+void TaskBackend::fiber_poll_wait(Fiber& f, double /*seconds*/) {
+  // A fiber cannot sleep wall-clock time without wedging its worker, and
+  // it does not need to: yielding reschedules it behind every runnable
+  // peer, so by the time it runs again anything that could arrive "soon"
+  // has arrived.  The poll loops above this (exec/reliable.cpp) treat the
+  // elapsed wait as backend time, which for this backend is simply the
+  // time the other fibers used.
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    if (aborted_) {
+      throw DeadlockError("task backend run aborted: rank " +
+                          std::to_string(f.rank) +
+                          " was polling when another rank failed");
+    }
+    if (live_ <= 1) return;  // no peer can send: don't bother yielding
+    f.pause = Fiber::Pause::yielded;
+  }
+  switch_out_of_fiber(f);
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  if (f.abort_on_resume || aborted_) {
+    f.abort_on_resume = false;
+    throw DeadlockError("task backend run aborted: rank " +
+                        std::to_string(f.rank) +
+                        " was polling when another rank failed");
+  }
+}
+
+RunStats TaskBackend::run(const std::function<void(Process&)>& spmd) {
+  SPARTS_CHECK(!running_, "TaskBackend::run is not reentrant");
+  running_ = true;
+  aborted_ = false;
+  const index_t p = config_.nprocs;
+  mailboxes_.assign(static_cast<std::size_t>(p), {});
+  fibers_.clear();
+  fibers_.reserve(static_cast<std::size_t>(p));
+  live_ = p;
+  blocked_ = 0;
+  epoch_ = Clock::now();
+  if (obs::Tracer::enabled()) obs::Tracer::instance().begin_run();
+
+  scheduler_ = std::make_unique<TaskScheduler>(config_.scheduler);
+  Latch done(p);
+  done_ = &done;
+
+  for (index_t r = 0; r < p; ++r) {
+    auto f = std::make_unique<Fiber>();
+    f->rank = r;
+    f->backend = this;
+    f->spmd = &spmd;
+    // for_overwrite: value-initializing the stack would memset 1 MiB per
+    // fiber per run, which dominates small runs (the fiber writes every
+    // byte it reads).
+    f->stack = std::make_unique_for_overwrite<std::byte[]>(stack_bytes_);
+    f->stack_size = stack_bytes_;
+    f->proc = std::make_unique<FiberProcess>(this, f.get());
+    SPARTS_CHECK(getcontext(&f->ctx) == 0, "getcontext failed");
+    f->ctx.uc_stack.ss_sp = f->stack.get();
+    f->ctx.uc_stack.ss_size = f->stack_size;
+    f->ctx.uc_link = nullptr;
+    const auto bits = reinterpret_cast<std::uintptr_t>(f.get());
+    makecontext(&f->ctx, reinterpret_cast<void (*)()>(&TaskBackend::trampoline),
+                2, static_cast<unsigned>(bits >> 32U),
+                static_cast<unsigned>(bits & 0xffffffffU));
+#ifdef SPARTS_TSAN_FIBERS
+    f->tsan_fiber = __tsan_create_fiber(0);
+#endif
+    fibers_.push_back(std::move(f));
+  }
+
+  // Topology-aware placement: contiguous rank blocks per worker, so the
+  // subtree-to-subcube mapping's neighbouring ranks start on the same
+  // worker (and, via the scheduler's victim order, stay within a steal
+  // cluster when they overflow).
+  const int w = scheduler_->workers();
+  for (index_t r = 0; r < p; ++r) {
+    schedule(*fibers_[static_cast<std::size_t>(r)],
+             static_cast<int>((r * w) / p));
+  }
+
+  done.wait();
+  sched_stats_ = scheduler_->stats();
+  scheduler_.reset();  // joins the workers
+  done_ = nullptr;
+  running_ = false;
+
+  std::exception_ptr best_error;
+  int best_priority = 3;
+  for (const auto& f : fibers_) {
+    if (!f->error) continue;
+    const int priority = error_priority(f->error);
+    if (priority < best_priority) {
+      best_priority = priority;
+      best_error = f->error;
+    }
+  }
+  if (best_error) {
+    fibers_.clear();
+    std::rethrow_exception(best_error);
+  }
+
+  RunStats out;
+  out.procs.reserve(static_cast<std::size_t>(p));
+  for (auto& f : fibers_) out.procs.push_back(f->stats);
+  fibers_.clear();
+  if (obs::Tracer::enabled()) {
+    obs::Tracer::instance().end_run(out.parallel_time());
+  }
+  return out;
+}
+
+}  // namespace sparts::exec

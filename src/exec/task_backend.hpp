@@ -1,0 +1,140 @@
+// The task-DAG execution backend: ranks are fibers on a work-stealing pool.
+//
+// Where ThreadBackend gives every rank its own OS thread, TaskBackend gives
+// every rank a ucontext fiber and multiplexes the fibers onto
+// TaskScheduler's worker pool (as many workers as the host has cores, not
+// as many as the program has ranks).  A rank runs until its recv() finds
+// no matching message; the fiber then suspends — the wait becomes a
+// *dynamic dependency edge* — and the worker picks up another runnable
+// rank from its deque.  A send() that satisfies a suspended rank's wait
+// re-readies that fiber on the sender's worker, so a producer-consumer
+// chain of supernodes executes depth-first on one core with user-space
+// context switches instead of condvar wakeups through the kernel
+// scheduler.  This is what makes the backend win on irregular elimination
+// trees (chains, wide flat forests) where ThreadBackend's p threads spend
+// their lives parked at merge points — see bench/bench_taskdag.cpp.
+//
+// Semantics are those of the Process contract, matching ThreadBackend:
+//   * buffered sends, blocking tag-matched recv, try_recv polling;
+//   * compute()/compute_at() count flops; times are wall-clock seconds;
+//   * per-rank ProcStats with the same busy/idle accounting;
+//   * an exception on one rank aborts the run (blocked peers unwind with
+//     a secondary DeadlockError) and run() rethrows the root cause.
+// Because the repo's message discipline keeps every in-flight (src, dst,
+// tag) unique — and no solver code receives from kAnySource — any correct
+// backend matches the same sends to the same recvs, so a solve on this
+// backend is bit-identical to one on ThreadBackend or the simulator.
+//
+// Deadlock detection is exact rather than timeout-based: all messages
+// come from the run's own fibers, so the moment every live fiber is
+// suspended in recv with no match, no progress is possible and the run
+// aborts with DeadlockError (this subsumes ThreadBackend's "every other
+// rank already finished" rule).
+//
+// Tuning knobs (environment): SPARTS_TASK_WORKERS, SPARTS_TASK_CLUSTER
+// (see task_scheduler.hpp) and SPARTS_TASK_STACK_KB (per-fiber stack,
+// default 1024).
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "exec/process.hpp"
+#include "exec/task_scheduler.hpp"
+#include "exec/waitgroup.hpp"
+
+namespace sparts::exec {
+
+class TaskBackend final : public Comm {
+ public:
+  struct Config {
+    index_t nprocs = 1;
+    /// Carried as a hint source only; this backend measures wall clock.
+    CostModel cost{};
+    TopologyKind topology = TopologyKind::fully_connected;
+    /// Worker pool shape (worker count, steal clusters, spin budget).
+    TaskScheduler::Config scheduler{};
+    /// Per-fiber stack in KiB; 0 = $SPARTS_TASK_STACK_KB, else 1024.
+    std::size_t stack_kb = 0;
+  };
+
+  explicit TaskBackend(const Config& config);
+  ~TaskBackend() override;
+
+  RunStats run(const std::function<void(Process&)>& spmd) override;
+  index_t nprocs() const override { return config_.nprocs; }
+  const CostModel& cost() const override { return config_.cost; }
+  const Topology& topology() const override { return topology_; }
+
+  /// Scheduler counters of the most recent run() (steals, parks, ...).
+  SchedulerStats last_scheduler_stats() const { return sched_stats_; }
+
+ private:
+  struct Fiber;
+  class FiberProcess;
+  friend class FiberProcess;
+
+  struct Message {
+    index_t src;
+    int tag;
+    std::vector<std::byte> payload;
+  };
+
+  /// Job body: run `f` until it suspends or finishes, then file it.
+  void resume(Fiber& f, const JobContext& ctx);
+  /// Enqueue a resume of `f` on the scheduler.
+  void schedule(Fiber& f, int affinity, bool low_priority = false);
+  /// Entry point of every fiber (runs on its own stack).
+  void fiber_main(Fiber& f);
+
+  /// Blocking receive for a fiber: suspends until a match arrives.
+  Message take_match(Fiber& f, index_t src, int tag);
+  /// Non-blocking receive; throws DeadlockError when the run is aborted.
+  bool take_match_now(Fiber& f, index_t src, int tag, Message* out);
+  /// Deliver to `dst`'s mailbox, waking its fiber if the message matches
+  /// the wait it is parked on.
+  void deliver(Fiber& sender, index_t dst, Message msg);
+  /// Responsive sleep: yields the fiber once (see Process::poll_wait).
+  void fiber_poll_wait(Fiber& f, double seconds);
+
+  bool find_match_locked(index_t rank, index_t src, int tag,
+                         bool pop, Message* out);
+  /// Abort the run: mark it dead and re-ready every parked fiber so it
+  /// unwinds with DeadlockError.  Idempotent.
+  void abort_all_locked(const std::string& reason);
+  /// Deadlock check: every live fiber suspended with no match in sight.
+  void check_stalled_locked();
+
+  static void trampoline(unsigned hi, unsigned lo);
+  /// Sanitizer bookkeeping on arrival inside a fiber.
+  static void finish_switch_into_fiber(Fiber& f);
+  /// Save the calling fiber's context and return to its worker.
+  static void switch_out_of_fiber(Fiber& f);
+
+  Config config_;
+  Topology topology_;
+  std::size_t stack_bytes_ = 0;
+
+  // --- per-run state -------------------------------------------------
+  std::unique_ptr<TaskScheduler> scheduler_;
+  std::vector<std::unique_ptr<Fiber>> fibers_;
+  std::vector<std::deque<Message>> mailboxes_;
+  /// Guards mailboxes_, fiber park/abort flags and the live/blocked
+  /// counters.  Never held across a context switch.
+  std::mutex state_mutex_;
+  index_t live_ = 0;     ///< fibers still inside spmd()
+  index_t blocked_ = 0;  ///< fibers parked in recv
+  bool aborted_ = false;
+  Latch* done_ = nullptr;
+  std::chrono::steady_clock::time_point epoch_{};
+  bool running_ = false;
+  SchedulerStats sched_stats_{};
+};
+
+}  // namespace sparts::exec

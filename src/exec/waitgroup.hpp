@@ -1,0 +1,80 @@
+// WaitGroup / Latch: the completion primitives of the task layer.
+//
+// A WaitGroup counts outstanding pieces of work: add() before handing a
+// piece to another thread, done() when it completes, wait() to block until
+// the count returns to zero.  Unlike std::latch the count may grow while
+// waiters are blocked (a task may spawn subtasks), and unlike
+// std::counting_semaphore the object is reusable: once the count reaches
+// zero a later add()/wait() round works again.
+//
+// Latch is the single-shot special case with a fixed initial count — it
+// exists as a named type so call sites document intent (std::latch itself
+// is avoided: libstdc++'s implementation uses futexes directly, which the
+// TSan fiber annotations in task_backend.cpp cannot see through).
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace sparts::exec {
+
+class WaitGroup {
+ public:
+  WaitGroup() = default;
+  explicit WaitGroup(std::int64_t initial) : count_(initial) {
+    SPARTS_CHECK(initial >= 0, "WaitGroup count must be non-negative");
+  }
+
+  WaitGroup(const WaitGroup&) = delete;
+  WaitGroup& operator=(const WaitGroup&) = delete;
+
+  /// Register `n` more pieces of outstanding work.
+  void add(std::int64_t n = 1) {
+    SPARTS_CHECK(n >= 0, "WaitGroup::add of a negative count");
+    std::lock_guard<std::mutex> lock(mutex_);
+    count_ += n;
+  }
+
+  /// One piece of work finished.  The count must not go negative.
+  void done() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    SPARTS_CHECK(count_ > 0, "WaitGroup::done without matching add");
+    if (--count_ == 0) cv_.notify_all();
+  }
+
+  /// Block until the count reaches zero.  Returns immediately when it
+  /// already is.  Must not be called from a scheduler worker that the
+  /// counted work needs to make progress (it would self-deadlock); the
+  /// task layer calls it from the submitting thread only.
+  void wait() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [&] { return count_ == 0; });
+  }
+
+  /// Snapshot of the outstanding count (racy by nature; for stats/tests).
+  std::int64_t pending() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return count_;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::int64_t count_ = 0;
+};
+
+/// Single-shot countdown: constructed with the number of arrivals.
+class Latch {
+ public:
+  explicit Latch(std::int64_t count) : wg_(count) {}
+  void count_down() { wg_.done(); }
+  void wait() { wg_.wait(); }
+
+ private:
+  WaitGroup wg_;
+};
+
+}  // namespace sparts::exec

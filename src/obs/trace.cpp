@@ -28,6 +28,8 @@ const char* to_string(Category cat) {
       return "check";
     case Category::fault:
       return "fault";
+    case Category::task:
+      return "task";
     case Category::other:
       return "other";
   }
@@ -90,6 +92,8 @@ std::pair<const char*, const char*> arg_labels(Category cat) {
       return {"src", "tag"};
     case Category::fault:
       return {"peer", "tag"};
+    case Category::task:
+      return {"task", "item"};
     case Category::phase:
     case Category::other:
       return {"a", "b"};

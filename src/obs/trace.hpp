@@ -63,6 +63,7 @@ enum class Category : std::uint8_t {
   kernel,      ///< dense kernel dispatch
   check,       ///< checked-backend findings surfaced as instants
   fault,       ///< fault injection + reliability envelope recovery events
+  task,        ///< task-DAG lifetimes: ready / steal / run segments
   other,
 };
 

@@ -13,6 +13,7 @@
 #include "ordering/etree.hpp"
 #include "partrisolve/layout.hpp"
 #include "partrisolve/packets.hpp"
+#include "partrisolve/solve_dag.hpp"
 #include "exec/collectives.hpp"
 #include "exec/reliable.hpp"
 
@@ -597,14 +598,21 @@ PhaseReport DistributedTrisolver::forward(exec::Comm& machine,
   SPARTS_CHECK(static_cast<index_t>(y_out.size()) == n * m);
 
   PhaseContext ctx{factor_, map_, options_, children_, block_base_, m};
-  const index_t nsup = part.num_supernodes();
+
+  // The SPMD sweep is a lowering of the forward-elimination DAG (edge
+  // c -> s when c's rectangle update feeds rows of s): each rank walks the
+  // graph's deterministic topological schedule — exactly ascending
+  // supernode order for this child -> ancestor graph — and executes the
+  // supernodes its group owns.
+  const exec::TaskGraph fdag = build_forward_dag(part);
+  const std::vector<exec::TaskId> schedule = fdag.topo_schedule();
 
   std::vector<BufferMap> rank_bufs(static_cast<std::size_t>(map_.p));
 
   auto spmd = [&](exec::Process& proc) {
     const index_t w = proc.rank();
     BufferMap& bufs = rank_bufs[static_cast<std::size_t>(w)];
-    for (index_t s = 0; s < nsup; ++s) {
+    for (const index_t s : schedule) {
       const exec::Group g = map_.group[static_cast<std::size_t>(s)];
       if (!g.contains(w)) continue;
       exec::note_progress(proc, "fw supernode " + std::to_string(s));
@@ -718,6 +726,7 @@ PhaseReport DistributedTrisolver::forward(exec::Comm& machine,
 
   PhaseReport report;
   report.stats = machine.run(spmd);
+  report.graph = fdag.analyze();
   return report;
 }
 
@@ -733,13 +742,23 @@ PhaseReport DistributedTrisolver::backward(exec::Comm& machine,
   SPARTS_CHECK(static_cast<index_t>(x_out.size()) == n * m);
 
   PhaseContext ctx{factor_, map_, options_, children_, block_base_, m};
-  const index_t nsup = part.num_supernodes();
+
+  // Backward lowering: the backward DAG is the forward DAG with every edge
+  // reversed, so the reverse of the forward schedule — descending
+  // supernode order — is a valid topological order of it, and the one that
+  // reproduces the historical top-down sweep byte for byte.  (The backward
+  // graph's own smallest-id-first schedule would hoist below-free
+  // supernodes early.)
+  const exec::TaskGraph bdag = build_backward_dag(part);
+  std::vector<exec::TaskId> schedule = build_forward_dag(part).topo_schedule();
+  std::reverse(schedule.begin(), schedule.end());
+
   std::vector<BufferMap> rank_bufs(static_cast<std::size_t>(map_.p));
 
   auto spmd = [&](exec::Process& proc) {
     const index_t w = proc.rank();
     BufferMap& bufs = rank_bufs[static_cast<std::size_t>(w)];
-    for (index_t s = nsup - 1; s >= 0; --s) {
+    for (const index_t s : schedule) {
       const exec::Group g = map_.group[static_cast<std::size_t>(s)];
       if (!g.contains(w)) continue;
       exec::note_progress(proc, "bw supernode " + std::to_string(s));
@@ -848,6 +867,7 @@ PhaseReport DistributedTrisolver::backward(exec::Comm& machine,
 
   PhaseReport report;
   report.stats = machine.run(spmd);
+  report.graph = bdag.analyze();
   return report;
 }
 

@@ -27,6 +27,7 @@
 #include "numeric/supernodal_factor.hpp"
 #include "partrisolve/dist_factor.hpp"
 #include "exec/process.hpp"
+#include "exec/taskgraph.hpp"
 
 namespace sparts::partrisolve {
 
@@ -47,6 +48,10 @@ struct Options {
 /// Result of one distributed solve phase.
 struct PhaseReport {
   exec::RunStats stats;
+  /// Shape of the supernode DAG the phase walked (forward: child ->
+  /// ancestor contribution edges; backward: the same edges reversed).
+  /// See solve_dag.hpp — the task backend executes the same graphs.
+  exec::GraphStats graph;
   double time() const { return stats.parallel_time(); }
 };
 

@@ -8,6 +8,7 @@
 #include "exec/checked_backend.hpp"
 #include "exec/fault_backend.hpp"
 #include "exec/reliable.hpp"
+#include "exec/task_backend.hpp"
 #include "exec/thread_backend.hpp"
 #include "mapping/subtree_to_subcube.hpp"
 #include "numeric/multifrontal.hpp"
@@ -25,6 +26,28 @@
 namespace sparts::solver {
 
 namespace {
+
+// The single registry the CLI help text, the parser, and make_backend all
+// read; adding a backend means adding exactly one row here (plus its
+// make_backend case, which the compiler enforces via the enum switch).
+constexpr BackendInfo kBackends[] = {
+    {"sim", ExecutionBackend::simulated,
+     "deterministic simulator, T3D cost model"},
+    {"threads", ExecutionBackend::threads,
+     "one std::thread per rank, wall clock"},
+    {"tasks", ExecutionBackend::tasks,
+     "rank fibers on a work-stealing task-DAG scheduler, wall clock"},
+    {"checked", ExecutionBackend::checked,
+     "sim audited for races / tag collisions / orphaned sends / deadlock "
+     "cycles; findings fail the run"},
+    {"checked-threads", ExecutionBackend::checked_threads,
+     "the same audit over the threaded backend"},
+    {"faulty", ExecutionBackend::faulty,
+     "sim with the --faults scenario injected under the reliability "
+     "envelope"},
+    {"faulty-threads", ExecutionBackend::faulty_threads,
+     "the same fault stack over threads"},
+};
 
 sparse::Permutation compute_ordering(const sparse::SymmetricCsc& a,
                                      OrderingMethod method) {
@@ -78,6 +101,12 @@ std::unique_ptr<exec::Comm> make_backend(ExecutionBackend backend, index_t p,
       cfg.cost = exec::CostModel::t3d();
       return std::make_unique<exec::ThreadBackend>(cfg);
     }
+    case ExecutionBackend::tasks: {
+      exec::TaskBackend::Config cfg;
+      cfg.nprocs = p;
+      cfg.cost = exec::CostModel::t3d();
+      return std::make_unique<exec::TaskBackend>(cfg);
+    }
     case ExecutionBackend::checked:
     case ExecutionBackend::checked_threads: {
       auto inner = make_backend(backend == ExecutionBackend::checked
@@ -123,6 +152,13 @@ void accumulate_report(const exec::Comm& machine, ParallelSolveResult* r) {
         static_cast<std::int64_t>(checked->report().findings.size());
     r->checked_messages += checked->report().sends;
   }
+  if (const auto* tasks = dynamic_cast<const exec::TaskBackend*>(&machine)) {
+    const exec::SchedulerStats s = tasks->last_scheduler_stats();
+    r->task_scheduler.workers = s.workers;
+    r->task_scheduler.jobs_run += s.jobs_run;
+    r->task_scheduler.steals += s.steals;
+    r->task_scheduler.parks += s.parks;
+  }
   if (const auto* reliable =
           dynamic_cast<const exec::ReliableBackend*>(&machine)) {
     r->retransmits += reliable->stats().retransmits;
@@ -161,6 +197,33 @@ auto run_phase(const char* phase, const exec::Comm& machine,
 }
 
 }  // namespace
+
+std::span<const BackendInfo> execution_backends() { return kBackends; }
+
+std::string execution_backend_names() {
+  std::string names;
+  for (const BackendInfo& info : kBackends) {
+    if (!names.empty()) names += " | ";
+    names += info.name;
+  }
+  return names;
+}
+
+ExecutionBackend parse_execution_backend(const std::string& name) {
+  for (const BackendInfo& info : kBackends) {
+    if (name == info.name) return info.backend;
+  }
+  throw InvalidArgument("unknown backend '" + name +
+                        "' (expected one of: " + execution_backend_names() +
+                        ")");
+}
+
+const BackendInfo& execution_backend_info(ExecutionBackend backend) {
+  for (const BackendInfo& info : kBackends) {
+    if (info.backend == backend) return info;
+  }
+  throw InvalidArgument("execution backend missing from registry");
+}
 
 SparseSolver SparseSolver::factorize(const sparse::SymmetricCsc& a,
                                      const Options& options) {
@@ -288,6 +351,7 @@ ParallelSolveResult parallel_solve(const sparse::SymmetricCsc& a,
                                                 fact_map, factor);
         });
     result.factor_time = report.time();
+    result.factor_dag = report.graph;
     phase.set_parallel(exec::to_phase_stats(report.stats));
     accumulate_report(*machine, &result);
   }
@@ -333,6 +397,7 @@ ParallelSolveResult parallel_solve(const sparse::SymmetricCsc& a,
           "forward", *machine, &result,
           [&] { return solver.forward(*machine, b_perm, y_perm, m); });
       result.forward_time = fw.time();
+      result.forward_dag = fw.graph;
       phase.set_parallel(exec::to_phase_stats(fw.stats));
     }
     {
@@ -341,6 +406,7 @@ ParallelSolveResult parallel_solve(const sparse::SymmetricCsc& a,
           "backward", *machine, &result,
           [&] { return solver.backward(*machine, y_perm, x_perm, m); });
       result.backward_time = bw.time();
+      result.backward_dag = bw.graph;
       phase.set_parallel(exec::to_phase_stats(bw.stats));
     }
     accumulate_report(*machine, &result);

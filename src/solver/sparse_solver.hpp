@@ -9,12 +9,15 @@
 #include <cstdint>
 #include <memory>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "common/types.hpp"
 #include "dense/kernels.hpp"
 #include "dense/pivot.hpp"
 #include "exec/fault_backend.hpp"
+#include "exec/task_scheduler.hpp"
+#include "exec/taskgraph.hpp"
 #include "numeric/supernodal_factor.hpp"
 #include "simpar/machine.hpp"
 #include "sparse/formats.hpp"
@@ -48,7 +51,38 @@ enum class ExecutionBackend {
   faulty,
   /// The same stack over the threaded backend, with wall-clock timeouts.
   faulty_threads,
+  /// exec::TaskBackend: every rank is a fiber multiplexed on a
+  /// work-stealing task-scheduler pool (as many workers as cores, not as
+  /// many as ranks).  A recv with no matching message suspends the fiber —
+  /// the wait becomes a dynamic dependency edge of the supernode task DAG
+  /// — and the matching send re-readies it on the sender's worker.
+  /// Results are bit-identical to `threads`; times are wall clock.
+  /// The checked/faulty decorators are not composed over this backend
+  /// (compose them over `threads` instead — same message semantics).
+  tasks,
 };
+
+/// One row of the execution-backend registry: the single source of truth
+/// that the CLI help text, the --backend parser, and make_backend draw
+/// from, so the three can never drift apart.
+struct BackendInfo {
+  const char* name;           ///< CLI spelling (--backend NAME)
+  ExecutionBackend backend;
+  const char* summary;        ///< one-line description for help text
+};
+
+/// Every registered backend, in display order.
+std::span<const BackendInfo> execution_backends();
+
+/// The registered CLI spellings joined with " | " (for usage and errors).
+std::string execution_backend_names();
+
+/// Parse a CLI spelling; throws InvalidArgument enumerating every
+/// registered name on a miss.
+ExecutionBackend parse_execution_backend(const std::string& name);
+
+/// The registry row of `backend` (never null).
+const BackendInfo& execution_backend_info(ExecutionBackend backend);
 
 struct Options {
   OrderingMethod ordering = OrderingMethod::nested_dissection;
@@ -177,6 +211,16 @@ struct ParallelSolveResult {
   /// Relative residual ||b - A x|| / ||b|| after refinement; negative when
   /// refinement did not run (clean direct solve, residual not computed).
   real_t residual = -1.0;
+  /// Shapes of the supernode task DAGs the parallel phases executed —
+  /// filled for every backend, because the SPMD loops are lowerings of the
+  /// same graphs the tasks backend runs (see parfact/factor_dag.hpp and
+  /// partrisolve/solve_dag.hpp).
+  exec::GraphStats factor_dag;
+  exec::GraphStats forward_dag;
+  exec::GraphStats backward_dag;
+  /// Work-stealing counters of the tasks backend (all zero otherwise);
+  /// jobs/steals/parks are summed over the parallel phases.
+  exec::SchedulerStats task_scheduler;
 
   double solve_time() const { return forward_time + backward_time; }
 };

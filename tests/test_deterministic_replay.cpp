@@ -9,6 +9,8 @@
 
 #include <vector>
 
+#include "exec/task_backend.hpp"
+#include "exec/thread_backend.hpp"
 #include "mapping/subtree_to_subcube.hpp"
 #include "numeric/multifrontal.hpp"
 #include "ordering/nested_dissection.hpp"
@@ -112,6 +114,47 @@ TEST(DeterministicReplay, TrisolveRunStatsAreBitIdentical) {
   expect_bit_identical(fw1, fw2);
   expect_bit_identical(bw1, bw2);
   EXPECT_EQ(x1, x2);  // the arithmetic, too, is replayed exactly
+}
+
+TEST(DeterministicReplay, TaskBackendArithmeticIsReplayedBitIdentically) {
+  // The tasks backend cannot promise bit-identical *times* (it measures
+  // wall clock) but must promise bit-identical *arithmetic*: replaying the
+  // pipelined trisolve on fresh TaskBackends — and on the thread backend —
+  // yields the exact same x.  Deterministic message matching (per-(src,
+  // tag) FIFO, no wildcard freedom in this program) makes every execution
+  // order produce the same value at every memory location.
+  sparse::SymmetricCsc a0 = sparse::grid2d(15, 15);
+  const sparse::Permutation perm = ordering::nested_dissection_grid2d(15, 15);
+  sparse::SymmetricCsc a = sparse::permute_symmetric(a0, perm);
+  numeric::SupernodalFactor l = numeric::multifrontal_cholesky(a);
+  const index_t n = a.n();
+  constexpr index_t p = 8;
+  constexpr index_t m = 3;
+
+  Rng rng(11);
+  const std::vector<real_t> rhs = sparse::random_rhs(n, m, rng);
+  const mapping::SubcubeMapping map =
+      mapping::subtree_to_subcube(l.partition(), p);
+  partrisolve::DistributedTrisolver solver(l, map, partrisolve::Options{});
+
+  auto solve_on = [&](exec::Comm& machine) {
+    std::vector<real_t> x(static_cast<std::size_t>(n * m), 0.0);
+    (void)solver.solve(machine, rhs, x, m);
+    return x;
+  };
+
+  exec::TaskBackend::Config cfg;
+  cfg.nprocs = p;
+  exec::TaskBackend tasks1(cfg), tasks2(cfg);
+  const std::vector<real_t> x1 = solve_on(tasks1);
+  const std::vector<real_t> x2 = solve_on(tasks2);
+  EXPECT_EQ(x1, x2);
+
+  exec::ThreadBackend::Config tcfg;
+  tcfg.nprocs = p;
+  tcfg.recv_timeout = 30.0;
+  exec::ThreadBackend threads(tcfg);
+  EXPECT_EQ(x1, solve_on(threads));
 }
 
 }  // namespace

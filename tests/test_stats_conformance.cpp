@@ -12,6 +12,7 @@
 
 #include "exec/checked_backend.hpp"
 #include "exec/collectives.hpp"
+#include "exec/task_backend.hpp"
 #include "exec/thread_backend.hpp"
 #include "simpar/machine.hpp"
 
@@ -101,6 +102,24 @@ TEST(StatsConformance, ThreadBackendMatchesSimulator) {
 
   expect_same_counts(sim, thr, "threads vs sim");
   EXPECT_EQ(thr.total_messages_received(), thr.total_messages());
+}
+
+TEST(StatsConformance, TaskBackendMatchesSimulator) {
+  // The fiber-per-rank task backend runs the identical SPMD program on a
+  // work-stealing worker pool; per-rank event counts must still match the
+  // simulator exactly, at any worker count (including fewer workers than
+  // ranks — the whole point of the backend).
+  const exec::RunStats sim = run_simulated();
+  for (const int workers : {1, 2, 8}) {
+    exec::TaskBackend::Config cfg;
+    cfg.nprocs = kProcs;
+    cfg.scheduler.workers = workers;
+    exec::TaskBackend tasks(cfg);
+    const exec::RunStats rs = tasks.run(conformance_program);
+    expect_same_counts(sim, rs, "tasks vs sim");
+    EXPECT_EQ(rs.total_messages_received(), rs.total_messages());
+    EXPECT_EQ(tasks.last_scheduler_stats().workers, workers);
+  }
 }
 
 TEST(StatsConformance, CheckedDecoratorIsTransparentOnBothBackends) {

@@ -17,6 +17,13 @@ Rules (see docs/static_analysis.md):
   narrowing-cast  C-style casts to integer types hide narrowing and
                   signedness bugs.  Use static_cast, which clang-tidy and
                   -Wconversion can then reason about.
+  raw-thread      std::thread constructed outside src/exec/ escapes the
+                  exec contract: its failures bypass error_priority, its
+                  work is invisible to RunStats and the tracer, and
+                  nothing joins it on the error path.  All parallelism
+                  goes through a backend (ThreadBackend, TaskBackend).
+                  std::thread::hardware_concurrency() is fine — the rule
+                  only matches the type, not its statics.
   raw-try-recv    Process::try_recv is the reliability envelope's polling
                   primitive (src/exec/reliable.cpp); algorithm code that
                   polls directly bypasses sequence numbering, dedup and the
@@ -78,6 +85,17 @@ RULES = [
         "reliability envelope; use blocking recv()",
         lambda rel: rel.parts[:1] == ("src",)
         and rel.parts[:2] not in {("src", "exec"), ("src", "simpar")},
+    ),
+    (
+        "raw-thread",
+        re.compile(r"\bstd::thread\b(?!\s*::)"),
+        "raw std::thread construction outside the exec layer; all "
+        "parallelism must go through an exec backend (ThreadBackend, "
+        "TaskBackend) so error propagation, stats, and shutdown stay "
+        "uniform",
+        # simpar::Machine is the simulated backend: like src/exec/ it
+        # implements the contract rather than escaping it.
+        lambda rel: rel.parts[:2] not in {("src", "exec"), ("src", "simpar")},
     ),
     (
         "narrowing-cast",

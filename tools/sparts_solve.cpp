@@ -44,15 +44,17 @@ options:
   --ordering NAME       nd | md | rcm | natural           (default nd)
   --procs P             run the distributed pipeline on P processors
                         (default 0 = sequential host solve)
-  --backend NAME        sim (deterministic simulator, T3D cost model) |
-                        threads (one std::thread per rank) |
-                        checked (sim audited for races / tag collisions /
-                        orphaned sends / deadlock cycles; findings fail
-                        the run) | checked-threads (same audit over the
-                        threaded backend) | faulty (sim with the --faults
-                        scenario injected under the reliability envelope) |
-                        faulty-threads (same over threads)  (default sim)
-  --kernels NAME        tiled (cache-blocked dense kernels) | ref (naive
+  --backend NAME        execution backend for the parallel phases
+                        (default sim); registered backends:
+)";
+  // The backend list is generated from the solver's registry so this text
+  // can never drift from what --backend actually accepts.
+  for (const solver::BackendInfo& info : solver::execution_backends()) {
+    std::cout << "                          " << info.name << " — "
+              << info.summary << "\n";
+  }
+  std::cout <<
+      R"(  --kernels NAME        tiled (cache-blocked dense kernels) | ref (naive
                         loops; conformance oracle)  (default: SPARTS_KERNELS
                         environment variable, else tiled)
   --refine N            iterative-refinement steps        (default 0)
@@ -81,18 +83,6 @@ observability:
                         write them plus the phase profile as JSON
   --help                this text
 )";
-}
-
-solver::ExecutionBackend parse_backend(const std::string& s) {
-  if (s == "sim") return solver::ExecutionBackend::simulated;
-  if (s == "threads") return solver::ExecutionBackend::threads;
-  if (s == "checked") return solver::ExecutionBackend::checked;
-  if (s == "checked-threads") {
-    return solver::ExecutionBackend::checked_threads;
-  }
-  if (s == "faulty") return solver::ExecutionBackend::faulty;
-  if (s == "faulty-threads") return solver::ExecutionBackend::faulty_threads;
-  throw InvalidArgument("unknown backend: " + s);
 }
 
 /// Strict numeric argument parsing: the whole token must be an integer in
@@ -188,7 +178,7 @@ int main(int argc, char** argv) {
       } else if (arg == "--procs") {
         procs = parse_count(arg, next());
       } else if (arg == "--backend") {
-        options.backend = parse_backend(next());
+        options.backend = solver::parse_execution_backend(next());
       } else if (arg == "--kernels") {
         options.kernels = parse_kernels(next());
       } else if (arg == "--faults") {
@@ -251,6 +241,8 @@ int main(int argc, char** argv) {
     if (procs > 0) {
       // Distributed pipeline on the selected exec backend.
       const auto result = solver::parallel_solve(a, b, nrhs, procs, options);
+      const solver::BackendInfo& binfo =
+          solver::execution_backend_info(options.backend);
       const bool sim =
           options.backend == solver::ExecutionBackend::simulated ||
           options.backend == solver::ExecutionBackend::checked ||
@@ -261,10 +253,11 @@ int main(int argc, char** argv) {
       const bool faulty =
           options.backend == solver::ExecutionBackend::faulty ||
           options.backend == solver::ExecutionBackend::faulty_threads;
-      std::cout << (sim ? "\nsimulated machine: " : "\nthread backend: ")
-                << procs
-                << (sim ? " processors (T3D cost model)\n"
-                        : " rank threads (wall clock)\n")
+      const bool tasks = options.backend == solver::ExecutionBackend::tasks;
+      std::cout << "\nbackend " << binfo.name << " (" << binfo.summary
+                << "): " << procs
+                << (sim ? " processors, simulated seconds\n"
+                        : " ranks, wall-clock seconds\n")
                 << "  factorization  " << format_fixed(result.factor_time, 4)
                 << " s\n"
                 << "  redistribution " << format_fixed(result.redist_time, 4)
@@ -273,6 +266,24 @@ int main(int argc, char** argv) {
                 << format_fixed(result.forward_time, 4) << " s\n"
                 << "  backward solve "
                 << format_fixed(result.backward_time, 4) << " s\n";
+      // Shapes of the supernode task DAGs the parallel phases executed;
+      // every backend lowers the same graphs (the SPMD loops walk the
+      // graph's topological schedule).
+      auto dag_line = [](const char* name, const exec::GraphStats& g) {
+        std::cout << "  " << name << " " << g.tasks << " tasks, " << g.edges
+                  << " edges, depth " << g.depth << ", avg parallelism "
+                  << format_fixed(g.avg_parallelism, 2) << "\n";
+      };
+      std::cout << "task DAG shapes:\n";
+      dag_line("factor  ", result.factor_dag);
+      dag_line("forward ", result.forward_dag);
+      dag_line("backward", result.backward_dag);
+      if (tasks) {
+        std::cout << "task scheduler:  " << result.task_scheduler.workers
+                  << " workers, " << result.task_scheduler.jobs_run
+                  << " jobs, " << result.task_scheduler.steals << " steals, "
+                  << result.task_scheduler.parks << " parks\n";
+      }
       if (checked) {
         std::cout << "message audit:   " << result.checked_messages
                   << " sends checked, " << result.analysis_findings
