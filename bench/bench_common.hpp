@@ -98,6 +98,50 @@ inline PreparedProblem prepare(solver::TestProblem problem) {
   return out;
 }
 
+/// Prepare a problem keeping the natural ordering (the irregular-etree
+/// workloads are *constructed* in the shape we want; reordering would
+/// destroy it).
+inline PreparedProblem prepare_natural(std::string name,
+                                       std::string description,
+                                       sparse::SymmetricCsc a) {
+  PreparedProblem out;
+  out.name = std::move(name);
+  out.description = std::move(description);
+  out.a = std::move(a);
+  const symbolic::SymbolicFactor sym = symbolic::symbolic_cholesky(out.a);
+  out.part = symbolic::fundamental_supernodes(sym);
+  out.factor_flops = sym.factorization_flops();
+  out.factor_nnz = sym.nnz();
+  out.factor = numeric::multifrontal_cholesky(out.a, out.part);
+  return out;
+}
+
+/// Tridiagonal SPD matrix of order n: path graph, path etree — the
+/// maximally deep, message-dominated workload for the pipelined solve.
+inline sparse::SymmetricCsc chain_matrix(index_t n) {
+  sparse::Triplets t(n, n);
+  for (index_t i = 0; i < n; ++i) {
+    t.add(i, i, 4.0);
+    if (i + 1 < n) t.add(i + 1, i, -1.0);
+  }
+  return sparse::SymmetricCsc::from_triplets(t);
+}
+
+/// Block-diagonal forest: `blocks` independent tridiagonal chains of
+/// order `bs` each.  The etree is maximally wide and flat.
+inline sparse::SymmetricCsc wide_flat_matrix(index_t blocks, index_t bs) {
+  const index_t n = blocks * bs;
+  sparse::Triplets t(n, n);
+  for (index_t b = 0; b < blocks; ++b) {
+    const index_t base = b * bs;
+    for (index_t i = 0; i < bs; ++i) {
+      t.add(base + i, base + i, 4.0);
+      if (i + 1 < bs) t.add(base + i + 1, base + i, -1.0);
+    }
+  }
+  return sparse::SymmetricCsc::from_triplets(t);
+}
+
 /// Prepare a grid problem with the exact geometric ND ordering.
 inline PreparedProblem prepare_grid(index_t kx, index_t ky, index_t kz = 1,
                                     int stencil = 0) {

@@ -42,47 +42,8 @@
 namespace sparts::bench {
 namespace {
 
-/// Prepare a problem keeping the natural ordering (the irregular-etree
-/// workloads are *constructed* in the shape we want; reordering would
-/// destroy it).
-PreparedProblem prepare_natural(std::string name, std::string description,
-                                sparse::SymmetricCsc a) {
-  PreparedProblem out;
-  out.name = std::move(name);
-  out.description = std::move(description);
-  out.a = std::move(a);
-  const symbolic::SymbolicFactor sym = symbolic::symbolic_cholesky(out.a);
-  out.part = symbolic::fundamental_supernodes(sym);
-  out.factor_flops = sym.factorization_flops();
-  out.factor_nnz = sym.nnz();
-  out.factor = numeric::multifrontal_cholesky(out.a, out.part);
-  return out;
-}
-
-/// Tridiagonal SPD matrix of order n: path graph, path etree.
-sparse::SymmetricCsc chain_matrix(index_t n) {
-  sparse::Triplets t(n, n);
-  for (index_t i = 0; i < n; ++i) {
-    t.add(i, i, 4.0);
-    if (i + 1 < n) t.add(i + 1, i, -1.0);
-  }
-  return sparse::SymmetricCsc::from_triplets(t);
-}
-
-/// Block-diagonal forest: `blocks` independent tridiagonal chains of
-/// order `bs` each.  The etree is maximally wide and flat.
-sparse::SymmetricCsc wide_flat_matrix(index_t blocks, index_t bs) {
-  const index_t n = blocks * bs;
-  sparse::Triplets t(n, n);
-  for (index_t b = 0; b < blocks; ++b) {
-    const index_t base = b * bs;
-    for (index_t i = 0; i < bs; ++i) {
-      t.add(base + i, base + i, 4.0);
-      if (i + 1 < bs) t.add(base + i + 1, base + i, -1.0);
-    }
-  }
-  return sparse::SymmetricCsc::from_triplets(t);
-}
+// chain_matrix / wide_flat_matrix / prepare_natural live in
+// bench_common.hpp, shared with bench_real_vs_sim's message-path rows.
 
 /// Wall seconds of one parallel multifrontal factorization on `comm`.
 double factor_time(const PreparedProblem& prob, exec::Comm& comm) {
@@ -94,8 +55,11 @@ double factor_time(const PreparedProblem& prob, exec::Comm& comm) {
   return report.time();
 }
 
-/// Wall seconds of one pipelined forward+backward solve on `comm`.
-double solve_time(const PreparedProblem& prob, exec::Comm& comm, index_t m) {
+/// Wall seconds of one pipelined forward+backward solve on `comm`.  If
+/// `copied` is non-null it receives the bytes the backend memcpy'd on the
+/// message path (the zero-copy handoff lane keeps this near zero).
+double solve_time(const PreparedProblem& prob, exec::Comm& comm, index_t m,
+                  nnz_t* copied = nullptr) {
   const mapping::SubcubeMapping map =
       mapping::subtree_to_subcube(prob.part, comm.nprocs());
   partrisolve::DistributedTrisolver solver(prob.factor, map, {});
@@ -104,6 +68,9 @@ double solve_time(const PreparedProblem& prob, exec::Comm& comm, index_t m) {
   std::vector<real_t> b = sparse::random_rhs(n, m, rng);
   std::vector<real_t> x(static_cast<std::size_t>(n * m), 0.0);
   auto [fw, bw] = solver.solve(comm, b, x, m);
+  if (copied != nullptr) {
+    *copied = fw.stats.total_bytes_copied() + bw.stats.total_bytes_copied();
+  }
   return fw.time() + bw.time();
 }
 
@@ -113,18 +80,20 @@ void run_workload(const char* etree, const PreparedProblem& prob, index_t m,
             << "  supernodes = " << prob.part.num_supernodes()
             << "  nrhs = " << m << "\n";
   TextTable table({"p", "fact thr (s)", "fact task (s)", "fact gain",
-                   "solve thr (s)", "solve task (s)", "solve gain"});
+                   "solve thr (s)", "solve task (s)", "solve gain",
+                   "solve copied MB"});
   constexpr int kReps = 3;
   for (index_t p = 8; p <= std::min<index_t>(bench_max_p(), 16); p *= 2) {
     double fact_thr = 0.0, fact_task = 0.0;
     double solve_thr = 0.0, solve_task = 0.0;
+    nnz_t solve_copied = 0;
     for (int rep = 0; rep < kReps; ++rep) {
       {
         exec::ThreadBackend::Config cfg;
         cfg.nprocs = p;
         exec::ThreadBackend backend(cfg);
         const double ft = factor_time(prob, backend);
-        const double st = solve_time(prob, backend, m);
+        const double st = solve_time(prob, backend, m, &solve_copied);
         fact_thr = rep == 0 ? ft : std::min(fact_thr, ft);
         solve_thr = rep == 0 ? st : std::min(solve_thr, st);
       }
@@ -146,6 +115,7 @@ void run_workload(const char* etree, const PreparedProblem& prob, index_t m,
     table.add(solve_thr, 5);
     table.add(solve_task, 5);
     table.add(exec::speedup(solve_thr, solve_task), 2);
+    table.add(static_cast<double>(solve_copied) / (1024.0 * 1024.0), 3);
     json.row()
         .field("workload", prob.description)
         .field("etree", std::string(etree))
@@ -158,7 +128,9 @@ void run_workload(const char* etree, const PreparedProblem& prob, index_t m,
         .field("factor_tasks_speedup", exec::speedup(fact_thr, fact_task))
         .field("solve_threads_seconds", solve_thr)
         .field("solve_tasks_seconds", solve_task)
-        .field("solve_tasks_speedup", exec::speedup(solve_thr, solve_task));
+        .field("solve_tasks_speedup", exec::speedup(solve_thr, solve_task))
+        .field("solve_copied_mb",
+               static_cast<double>(solve_copied) / (1024.0 * 1024.0));
   }
   std::cout << table;
 }

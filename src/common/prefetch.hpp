@@ -1,0 +1,35 @@
+// Software prefetch helpers for the pipelined trapezoid walks.
+//
+// The solvers walk a rank's block rows in a fixed cyclic order, so the
+// address of the next panel is known one GEMM ahead of its use — long
+// enough to hide a trip to DRAM, short enough that the lines survive in
+// L2.  These wrap __builtin_prefetch so call sites stay portable (the
+// hint compiles away entirely on compilers without it).
+#pragma once
+
+#include <cstddef>
+
+namespace sparts::common {
+
+/// Read-prefetch one cache line, high temporal locality.
+inline void prefetch_read(const void* p) {
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_prefetch(p, /*rw=*/0, /*locality=*/3);
+#else
+  (void)p;
+#endif
+}
+
+/// Read-prefetch the leading cache lines of a buffer, capped so a huge
+/// panel cannot flush the cache it is trying to warm.  4 KiB is about one
+/// panel column — enough to cover the first micro-panel packs of the next
+/// GEMM while its tail streams in behind them.
+inline void prefetch_panel(const void* p, std::size_t bytes) {
+  constexpr std::size_t kLine = 64;
+  constexpr std::size_t kCap = 4096;
+  if (bytes > kCap) bytes = kCap;
+  const char* c = static_cast<const char*>(p);
+  for (std::size_t off = 0; off < bytes; off += kLine) prefetch_read(c + off);
+}
+
+}  // namespace sparts::common

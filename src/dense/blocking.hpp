@@ -28,23 +28,30 @@
 
 namespace sparts::dense::detail {
 
-/// Microkernel register tile: MR x NR accumulators.
-inline constexpr index_t kMR = 8;
-inline constexpr index_t kNR = 4;
+/// Microkernel register tile: MR x NR accumulators.  A per-ISA translation
+/// unit may widen the tile by defining SPARTS_TILE_MR before including
+/// this header (the AVX-512 TU uses 16: two 8-double zmm rows per column).
+/// Plain `constexpr` — internal linkage — so each TU's value is private
+/// and cannot COMDAT-merge with another TU's.
+#ifndef SPARTS_TILE_MR
+#define SPARTS_TILE_MR 8
+#endif
+constexpr index_t kMR = SPARTS_TILE_MR;
+constexpr index_t kNR = 4;
 
 /// Cache blocks: A-pack is MC x KC (sized for L2), B-pack is KC x NC.
-inline constexpr index_t kMC = 128;
-inline constexpr index_t kKC = 256;
-inline constexpr index_t kNC = 512;
+constexpr index_t kMC = 128;
+constexpr index_t kKC = 256;
+constexpr index_t kNC = 512;
 
 /// Diagonal-tile width for the blocked TRSM / Cholesky algorithms: the
 /// t x t triangle is solved in TB-wide tiles, everything below/right of a
 /// tile is updated through the tiled GEMM core.
-inline constexpr index_t kTB = 64;
+constexpr index_t kTB = 64;
 
 /// Strip length (elements per column) for the fused-AXPY small-n GEMM:
 /// n + 1 strips of this size stay resident in L1.
-inline constexpr index_t kStrip = 512;
+constexpr index_t kStrip = 512;
 
 static inline index_t round_up(index_t v, index_t unit) {
   return (v + unit - 1) / unit * unit;

@@ -43,16 +43,26 @@ std::atomic<KernelImpl>& impl_state() {
   return state;
 }
 
-/// The tiled kernel table for the running CPU: the AVX2+FMA build when
-/// the host supports it, the baseline-ISA build otherwise.
+/// The tiled kernel table for the running CPU, widest ISA first:
+/// AVX-512 when the host supports it, then AVX2+FMA, then the
+/// baseline-ISA build (on aarch64: the NEON build, unconditionally).
 const detail::TiledKernels& tiled() {
   static const detail::TiledKernels& table = []() -> const auto& {
+#ifdef SPARTS_HAVE_AVX512_TU
+    if (__builtin_cpu_supports("avx512f")) {
+      return detail::tiled_avx512_kernels();
+    }
+#endif
 #ifdef SPARTS_HAVE_AVX2_TU
     if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) {
       return detail::tiled_avx2_kernels();
     }
 #endif
+#ifdef SPARTS_HAVE_NEON_TU
+    return detail::tiled_neon_kernels();
+#else
     return detail::tiled_portable_kernels();
+#endif
   }();
   return table;
 }

@@ -56,4 +56,18 @@ const TiledKernels& tiled_portable_kernels();
 const TiledKernels& tiled_avx2_kernels();
 #endif
 
+#ifdef SPARTS_HAVE_AVX512_TU
+/// Tiled kernels compiled with AVX-512 (widened 16x4 register tile, see
+/// microkernel.hpp).  Only callable after a runtime
+/// __builtin_cpu_supports("avx512f") check; checked before the AVX2
+/// table so the widest ISA wins.
+const TiledKernels& tiled_avx512_kernels();
+#endif
+
+#ifdef SPARTS_HAVE_NEON_TU
+/// Tiled kernels for aarch64 Advanced SIMD (vfmaq_f64 microkernel).
+/// NEON is architecturally mandatory on aarch64: no runtime check.
+const TiledKernels& tiled_neon_kernels();
+#endif
+
 }  // namespace sparts::dense::detail

@@ -1,0 +1,13 @@
+// Tiled kernels compiled with AVX-512 enabled (see src/dense/CMakeLists.txt
+// for the exact -mavx512* flag set).  Only added to the build on x86-64,
+// and only entered at runtime after a __builtin_cpu_supports("avx512f")
+// check in kernels.cpp, so the baseline binary stays runnable on hardware
+// without AVX-512.
+//
+// Widening the register tile to 16 x 4 gives the microkernel eight zmm
+// accumulators (two 8-double rows per column) — enough independent fma
+// chains to cover the 4-cycle fma latency at 2 fma/cycle without
+// exhausting the 32 zmm registers on loads.
+#define SPARTS_TILE_MR 16
+#define SPARTS_TILED_ENTRY tiled_avx512_kernels
+#include "dense/kernels_tiled.inc"

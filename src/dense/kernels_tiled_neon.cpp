@@ -1,0 +1,9 @@
+// Tiled kernels for aarch64, where NEON (Advanced SIMD) is mandatory —
+// no runtime CPU check is needed, kernels.cpp selects this table
+// unconditionally when it exists.  The value over the portable TU is the
+// explicit vfmaq_f64 microkernel in microkernel.hpp (the portable body
+// relies on autovectorization, which on some compilers refuses to keep
+// the full 8 x 4 tile in q-registers) plus the unroll-friendly flags this
+// TU is compiled with.
+#define SPARTS_TILED_ENTRY tiled_neon_kernels
+#include "dense/kernels_tiled.inc"

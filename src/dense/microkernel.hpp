@@ -2,11 +2,23 @@
 //
 // Operates on packed micro-panels produced by pack_a / pack_b
 // (blocking.hpp): `ap` walks MR A-values per k step, `bp` walks NR
-// B-values per k step, both with unit stride.  The accumulators live in a
-// fixed-size local tile that the compiler keeps in vector registers; the
-// update is AXPY-shaped (each accumulator lane is an independent
-// dependence chain), so it vectorizes under -O3 without
-// -ffast-math-style reassociation.
+// B-values per k step, both with unit stride.
+//
+// Three bodies, chosen by the flags of the including translation unit:
+//   * AVX-512 (compiled under -mavx512f with kMR a multiple of 8): the
+//     accumulator tile is (MR/8) x NR zmm registers updated with
+//     _mm512_fmadd_pd; the AVX-512 TU widens MR to 16 (blocking.hpp) so
+//     the tile is 8 zmm accumulators fed by 2 unaligned column loads.
+//   * NEON (aarch64, where it is mandatory): (MR/2) x NR float64x2_t
+//     accumulators updated with vfmaq_f64.
+//   * portable: a fixed-size local tile the compiler keeps in whatever
+//     vector registers the baseline ISA offers; the update is AXPY-shaped
+//     (each accumulator lane an independent dependence chain), so it
+//     vectorizes under -O3 without -ffast-math-style reassociation.
+// All three accumulate in the same mathematical order (pure fma/mul-add
+// per lane, k-major), so a TU's result can differ from the reference
+// kernel only by the usual fused-multiply rounding the conformance tests
+// pin down against the naive oracle.
 //
 // static linkage for the same reason as blocking.hpp: each per-ISA
 // translation unit must get its own copy compiled with its own flags.
@@ -21,13 +33,71 @@
 #define SPARTS_RESTRICT
 #endif
 
+#if defined(__AVX512F__)
+#include <immintrin.h>
+#elif defined(__ARM_NEON) || defined(__aarch64__)
+#include <arm_neon.h>
+#endif
+
 namespace sparts::dense::detail {
 
 /// acc (MR x NR, column-major) = sum over kc of a_panel(:, l) *
 /// b_panel(l, :).  Alpha is pre-folded into the packed B panel.
+#if defined(__AVX512F__) && (SPARTS_TILE_MR % 8 == 0)
+
 static inline void micro_kernel(index_t kc, const real_t* SPARTS_RESTRICT ap,
-                         const real_t* SPARTS_RESTRICT bp,
-                         real_t* SPARTS_RESTRICT acc) {
+                                const real_t* SPARTS_RESTRICT bp,
+                                real_t* SPARTS_RESTRICT acc) {
+  constexpr index_t kRows = kMR / 8;  // zmm registers per column
+  __m512d c[kRows * kNR];
+  for (index_t q = 0; q < kRows * kNR; ++q) c[q] = _mm512_setzero_pd();
+  for (index_t l = 0; l < kc; ++l, ap += kMR, bp += kNR) {
+    __m512d a[kRows];
+    for (index_t r = 0; r < kRows; ++r) a[r] = _mm512_loadu_pd(ap + 8 * r);
+    for (index_t j = 0; j < kNR; ++j) {
+      const __m512d bv = _mm512_set1_pd(bp[j]);
+      for (index_t r = 0; r < kRows; ++r) {
+        c[j * kRows + r] = _mm512_fmadd_pd(a[r], bv, c[j * kRows + r]);
+      }
+    }
+  }
+  for (index_t j = 0; j < kNR; ++j) {
+    for (index_t r = 0; r < kRows; ++r) {
+      _mm512_storeu_pd(acc + j * kMR + 8 * r, c[j * kRows + r]);
+    }
+  }
+}
+
+#elif (defined(__ARM_NEON) || defined(__aarch64__)) && (SPARTS_TILE_MR % 2 == 0)
+
+static inline void micro_kernel(index_t kc, const real_t* SPARTS_RESTRICT ap,
+                                const real_t* SPARTS_RESTRICT bp,
+                                real_t* SPARTS_RESTRICT acc) {
+  constexpr index_t kRows = kMR / 2;  // q-registers per column
+  float64x2_t c[kRows * kNR];
+  for (index_t q = 0; q < kRows * kNR; ++q) c[q] = vdupq_n_f64(0.0);
+  for (index_t l = 0; l < kc; ++l, ap += kMR, bp += kNR) {
+    float64x2_t a[kRows];
+    for (index_t r = 0; r < kRows; ++r) a[r] = vld1q_f64(ap + 2 * r);
+    for (index_t j = 0; j < kNR; ++j) {
+      const float64x2_t bv = vdupq_n_f64(bp[j]);
+      for (index_t r = 0; r < kRows; ++r) {
+        c[j * kRows + r] = vfmaq_f64(c[j * kRows + r], a[r], bv);
+      }
+    }
+  }
+  for (index_t j = 0; j < kNR; ++j) {
+    for (index_t r = 0; r < kRows; ++r) {
+      vst1q_f64(acc + j * kMR + 2 * r, c[j * kRows + r]);
+    }
+  }
+}
+
+#else
+
+static inline void micro_kernel(index_t kc, const real_t* SPARTS_RESTRICT ap,
+                                const real_t* SPARTS_RESTRICT bp,
+                                real_t* SPARTS_RESTRICT acc) {
   real_t c[kMR * kNR] = {};
   for (index_t l = 0; l < kc; ++l, ap += kMR, bp += kNR) {
     for (index_t j = 0; j < kNR; ++j) {
@@ -38,5 +108,7 @@ static inline void micro_kernel(index_t kc, const real_t* SPARTS_RESTRICT ap,
   }
   for (index_t q = 0; q < kMR * kNR; ++q) acc[q] = c[q];
 }
+
+#endif
 
 }  // namespace sparts::dense::detail

@@ -24,13 +24,13 @@ struct Packet {
   std::vector<real_t> data;
 };
 
-std::vector<std::byte> serialize(const std::vector<Packet>& packets) {
+Payload serialize(const std::vector<Packet>& packets) {
   std::size_t bytes = 0;
   for (const auto& p : packets) {
     bytes += 2 * sizeof(index_t) + sizeof(index_t) +
              p.data.size() * sizeof(real_t);
   }
-  std::vector<std::byte> out(bytes);
+  Payload out(bytes);
   std::size_t off = 0;
   auto put = [&](const void* src, std::size_t len) {
     // len == 0 carries a null src (empty vector::data()); memcpy's
@@ -271,14 +271,16 @@ std::vector<std::vector<real_t>> all_to_all_personalized(
     // Pairwise exchange: the lower rank sends first; arrival-time matching
     // in the simulator makes the order irrelevant for correctness, but a
     // fixed order keeps traces readable.
-    const std::vector<std::byte> payload = serialize(to_send);
+    Payload payload = serialize(to_send);
     if (me < partner) {
-      proc.send(g.world(partner), tag + static_cast<int>(k), payload);
+      proc.send_owned(g.world(partner), tag + static_cast<int>(k),
+                      std::move(payload));
       auto msg = proc.recv(g.world(partner), tag + static_cast<int>(k));
       for (auto& p : deserialize(msg.payload)) held.push_back(std::move(p));
     } else {
       auto msg = proc.recv(g.world(partner), tag + static_cast<int>(k));
-      proc.send(g.world(partner), tag + static_cast<int>(k), payload);
+      proc.send_owned(g.world(partner), tag + static_cast<int>(k),
+                      std::move(payload));
       for (auto& p : deserialize(msg.payload)) held.push_back(std::move(p));
     }
   }

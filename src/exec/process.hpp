@@ -29,8 +29,10 @@
 #include <functional>
 #include <span>
 #include <type_traits>
+#include <utility>
 #include <vector>
 
+#include "common/arena.hpp"
 #include "common/error.hpp"
 #include "common/types.hpp"
 #include "exec/cost_model.hpp"
@@ -48,11 +50,22 @@ inline constexpr index_t kAnySource = -1;
 /// tags, so this negative plane can never collide with data traffic.
 inline constexpr int kCtrlTag = -1000001;
 
+/// The message payload buffer type, arena-backed (common/arena.hpp) so
+/// panels land in the per-thread NUMA arenas and so an owned buffer can
+/// move through a backend's ring without a copy (send_owned below).
+using Payload = std::vector<std::byte, common::ArenaAllocator<std::byte>>;
+
+/// Payloads at least this large take the zero-copy lane when sent with
+/// send_owned on a backend that supports it; smaller ones are copied
+/// inline (the copy is cheaper than bouncing the buffer's cache lines
+/// and the allocator between threads).
+inline constexpr std::size_t kZeroCopyThreshold = 256;
+
 /// A received message.
 struct ReceivedMessage {
   index_t source = -1;
   int tag = 0;
-  std::vector<std::byte> payload;
+  Payload payload;
 };
 
 /// Handle through which SPMD code interacts with its processor.  Only valid
@@ -84,6 +97,20 @@ class Process {
   /// once the payload is captured, without waiting for the receiver.
   virtual void send(index_t dst, int tag,
                     std::span<const std::byte> payload) = 0;
+
+  /// Zero-copy send: the caller hands over ownership of the buffer and the
+  /// backend moves it to the receiver without copying the bytes (thread
+  /// and task backends; payloads under kZeroCopyThreshold stay on the
+  /// copy lane).  Semantics are identical to send() — same matching, same
+  /// buffered-send guarantee — so the default forwards to send(), which
+  /// is also what makes decorators compose unchanged: CheckedBackend and
+  /// ReliableBackend override only send() and inherit this forwarding, so
+  /// an owned send through them is audited / enveloped exactly like a
+  /// plain one (at the cost of the copy; the envelope appends a wire
+  /// trailer and could never be zero-copy anyway).
+  virtual void send_owned(index_t dst, int tag, Payload&& payload) {
+    send(dst, tag, {payload.data(), payload.size()});
+  }
 
   /// Blocking receive.  `src` may be kAnySource.
   virtual ReceivedMessage recv(index_t src, int tag) = 0;

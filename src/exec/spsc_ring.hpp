@@ -1,0 +1,80 @@
+// Lock-free bounded single-producer/single-consumer ring, the fast path
+// of the thread and task backends' message mailboxes.
+//
+// One ring exists per (src, dst) rank pair, which is what makes it truly
+// SPSC: the only producer is the source rank and the only consumer the
+// destination rank.  (On the task backend a rank's fiber migrates between
+// workers, but it executes on one worker at a time with happens-before
+// edges supplied by the scheduler, so the single-logical-producer/
+// consumer requirement still holds.)
+//
+// Memory ordering is the textbook pair: the producer publishes a slot
+// with a release store of tail_, the consumer acquires tail_ before
+// reading the slot, and symmetrically for head_ so the producer never
+// overwrites a slot still being moved out.  head_ and tail_ live on
+// separate cache lines so the two sides don't false-share.
+//
+// The ring is a fast path, not a contract: try_push may fail when the
+// ring is full (the backends spill to their locked fallback mailbox so
+// send() never blocks), and the element is NOT consumed on failure.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace sparts::exec {
+
+template <typename T>
+class SpscRing {
+ public:
+  /// Capacity is fixed at construction and must be a power of two.
+  explicit SpscRing(std::size_t capacity = kDefaultCapacity)
+      : slots_(capacity), mask_(capacity - 1) {}
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  /// Producer side.  Returns false (leaving `v` intact) when full.
+  bool try_push(T& v) {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    const std::size_t head = head_.load(std::memory_order_acquire);
+    if (tail - head >= slots_.size()) return false;
+    slots_[tail & mask_] = std::move(v);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side.  Returns false when empty.
+  bool try_pop(T* out) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    const std::size_t tail = tail_.load(std::memory_order_acquire);
+    if (head == tail) return false;
+    *out = std::move(slots_[head & mask_]);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Racy occupancy probe (either side; exact only for its caller's role).
+  bool has_items() const {
+    return tail_.load(std::memory_order_acquire) !=
+           head_.load(std::memory_order_relaxed);
+  }
+
+  /// Deliberately small: the ring is a latency device, not a buffer.  A
+  /// deep ring means a message burst walks p x capacity cold slots (each
+  /// push/pop touching a line the cache already evicted), and measured
+  /// end-to-end solve times on burst-heavy etrees get *worse* as the
+  /// ring grows; bursts beyond this depth spill to the locked fallback
+  /// queue, which amortizes one mutex + one wakeup over the whole batch.
+  static constexpr std::size_t kDefaultCapacity = 8;
+
+ private:
+  std::vector<T> slots_;
+  std::size_t mask_;
+  alignas(64) std::atomic<std::size_t> head_{0};  ///< consumer cursor
+  alignas(64) std::atomic<std::size_t> tail_{0};  ///< producer cursor
+};
+
+}  // namespace sparts::exec

@@ -34,6 +34,12 @@ nnz_t RunStats::total_messages_received() const {
   return m;
 }
 
+nnz_t RunStats::total_bytes_copied() const {
+  nnz_t b = 0;
+  for (const auto& p : procs) b += p.bytes_copied;
+  return b;
+}
+
 double RunStats::efficiency() const {
   const double tp = parallel_time();
   if (tp <= 0.0 || procs.empty()) return 1.0;

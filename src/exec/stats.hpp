@@ -29,6 +29,11 @@ struct ProcStats {
   nnz_t words_sent = 0;
   nnz_t messages_received = 0;
   nnz_t words_received = 0;
+  /// Payload bytes memcpy'd by the backend's message path (the capture
+  /// copy of send()).  Zero-copy sends move the buffer instead, so this
+  /// is the number the zero-copy lane drives to ~0; words_sent still
+  /// counts the logical traffic either way.
+  nnz_t bytes_copied = 0;
 };
 
 /// Aggregated statistics of a run.
@@ -46,6 +51,8 @@ struct RunStats {
   /// Total received messages across all processors.  In a closed run
   /// (every send matched by a recv) this equals total_messages().
   nnz_t total_messages_received() const;
+  /// Total backend-side payload copy bytes (see ProcStats::bytes_copied).
+  nnz_t total_bytes_copied() const;
   /// sum(compute_time) / (p * parallel_time)
   double efficiency() const;
 };

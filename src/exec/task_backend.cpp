@@ -2,8 +2,10 @@
 
 #include <ucontext.h>
 
+#include <atomic>
 #include <cstdint>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 #include <utility>
 
@@ -53,6 +55,15 @@ std::size_t env_stack_kb() {
   return kb > 0 ? static_cast<std::size_t>(kb) : 0;
 }
 
+bool env_spsc_enabled() {
+  const char* v = std::getenv("SPARTS_SPSC");
+  if (v == nullptr || *v == '\0') return true;
+  return !(std::strcmp(v, "off") == 0 || std::strcmp(v, "0") == 0);
+}
+
+/// Rings are O(p^2); past this rank count fall back to the locked mailboxes.
+constexpr index_t kMaxRingRanks = 128;
+
 #ifdef SPARTS_ASAN_FIBERS
 // ASan fake-stack handle of the worker thread, saved while it is parked
 // inside a fiber.  One per OS thread: a worker resumes exactly one fiber
@@ -85,9 +96,14 @@ struct TaskBackend::Fiber {
   // Wait descriptor, valid while pause == blocked.
   index_t wait_src = 0;
   int wait_tag = 0;
+  /// Drained-but-unmatched messages, private to this fiber's executor
+  /// (the fiber itself, or its worker while the fiber is suspended).
+  std::deque<Message> pending;
   /// Context fully saved and registered as waiting — only then may a
-  /// sender re-ready the fiber.  Guarded by state_mutex_.
-  bool parked = false;
+  /// sender re-ready the fiber.  All transitions happen under
+  /// state_mutex_; atomic so deliver() can probe it lock-free after its
+  /// ring push (seq_cst handshake, see resume()/deliver()).
+  std::atomic<bool> parked{false};
   /// Set under state_mutex_ when the run aborts; the fiber throws on its
   /// next resume.
   bool abort_on_resume = false;
@@ -171,33 +187,18 @@ class TaskBackend::FiberProcess final : public Process {
 
   void send(index_t dst, int tag,
             std::span<const std::byte> payload) override {
-    SPARTS_CHECK(dst >= 0 && dst < nprocs(),
-                 "send destination " << dst << " out of range");
-    const Clock::time_point t0 = flush_busy();
-    backend_->deliver(
-        *fiber_,
-        dst, Message{fiber_->rank, tag,
-                     std::vector<std::byte>(payload.begin(), payload.end())});
-    const Clock::time_point t1 = Clock::now();
-    stats_.send_time += seconds_between(t0, t1);
-    last_mark_ = t1;
-    ++stats_.messages_sent;
-    stats_.words_sent += static_cast<nnz_t>(
-        (payload.size() + sizeof(real_t) - 1) / sizeof(real_t));
-    if (obs::Tracer::enabled()) {
-      auto& tracer = obs::Tracer::instance();
-      const auto r32 = static_cast<std::int32_t>(fiber_->rank);
-      tracer.record_local(r32, obs::EventKind::span_begin, obs::Category::comm,
-                          "send", seconds_between(backend_->epoch_, t0),
-                          static_cast<std::int64_t>(payload.size()),
-                          static_cast<std::int64_t>(dst));
-      tracer.record_local(r32, obs::EventKind::span_end, obs::Category::comm,
-                          "send", seconds_between(backend_->epoch_, t1));
+    // Copy lane: capture the payload into a fresh (arena) buffer.
+    post(dst, tag, Payload(payload.begin(), payload.end()),
+         /*copied_bytes=*/payload.size());
+  }
+
+  void send_owned(index_t dst, int tag, Payload&& payload) override {
+    if (payload.size() < kZeroCopyThreshold) {
+      send(dst, tag, {payload.data(), payload.size()});
+      return;
     }
-    if (obs::metrics_enabled()) {
-      obs::metrics().histogram("comm.message_bytes")
-          .observe(static_cast<std::int64_t>(payload.size()));
-    }
+    // Zero-copy lane: the buffer itself travels through the ring.
+    post(dst, tag, std::move(payload), /*copied_bytes=*/0);
   }
 
   ReceivedMessage recv(index_t src, int tag) override {
@@ -257,6 +258,37 @@ class TaskBackend::FiberProcess final : public Process {
   }
 
  private:
+  /// Shared tail of both send lanes: deliver + stats + tracing.
+  void post(index_t dst, int tag, Payload payload, std::size_t copied_bytes) {
+    SPARTS_CHECK(dst >= 0 && dst < nprocs(),
+                 "send destination " << dst << " out of range");
+    const std::size_t bytes = payload.size();
+    const Clock::time_point t0 = flush_busy();
+    backend_->deliver(*fiber_, dst, Message{fiber_->rank, tag,
+                                            std::move(payload)});
+    const Clock::time_point t1 = Clock::now();
+    stats_.send_time += seconds_between(t0, t1);
+    last_mark_ = t1;
+    ++stats_.messages_sent;
+    stats_.words_sent +=
+        static_cast<nnz_t>((bytes + sizeof(real_t) - 1) / sizeof(real_t));
+    stats_.bytes_copied += static_cast<nnz_t>(copied_bytes);
+    if (obs::Tracer::enabled()) {
+      auto& tracer = obs::Tracer::instance();
+      const auto r32 = static_cast<std::int32_t>(fiber_->rank);
+      tracer.record_local(r32, obs::EventKind::span_begin, obs::Category::comm,
+                          "send", seconds_between(backend_->epoch_, t0),
+                          static_cast<std::int64_t>(bytes),
+                          static_cast<std::int64_t>(dst));
+      tracer.record_local(r32, obs::EventKind::span_end, obs::Category::comm,
+                          "send", seconds_between(backend_->epoch_, t1));
+    }
+    if (obs::metrics_enabled()) {
+      obs::metrics().histogram("comm.message_bytes")
+          .observe(static_cast<std::int64_t>(bytes));
+    }
+  }
+
   Clock::time_point flush_busy() {
     const Clock::time_point t = Clock::now();
     stats_.compute_time += seconds_between(last_mark_, t);
@@ -384,12 +416,20 @@ void TaskBackend::resume(Fiber& f, const JobContext& ctx) {
         }
         lock.unlock();
         schedule(f, ctx.worker);
-      } else if (find_match_locked(f.rank, f.wait_src, f.wait_tag,
-                                   /*pop=*/false, nullptr)) {
+        break;
+      }
+      // Dekker handshake with deliver(): advertise the park, then drain.
+      // A sender either pushed before our drain (we see the message here)
+      // or probes parked after our store (it sees true and unparks us).
+      f.parked.store(true, std::memory_order_seq_cst);
+      std::atomic_thread_fence(std::memory_order_seq_cst);
+      drain_overflow_locked(f);
+      drain_rings(f);
+      if (match_pending(f, f.wait_src, f.wait_tag, /*pop=*/false, nullptr)) {
+        f.parked.store(false, std::memory_order_relaxed);
         lock.unlock();
         schedule(f, ctx.worker);
       } else {
-        f.parked = true;
         ++blocked_;
         check_stalled_locked();
       }
@@ -404,14 +444,36 @@ void TaskBackend::resume(Fiber& f, const JobContext& ctx) {
   }
 }
 
-bool TaskBackend::find_match_locked(index_t rank, index_t src, int tag,
-                                    bool pop, Message* out) {
-  auto& box = mailboxes_[static_cast<std::size_t>(rank)];
-  for (auto it = box.begin(); it != box.end(); ++it) {
+bool TaskBackend::drain_rings(Fiber& f) {
+  if (!rings_on_) return false;
+  bool any = false;
+  Message m;
+  for (index_t s = 0; s < config_.nprocs; ++s) {
+    while (ring(s, f.rank).try_pop(&m)) {
+      f.pending.push_back(std::move(m));
+      any = true;
+    }
+  }
+  return any;
+}
+
+bool TaskBackend::drain_overflow_locked(Fiber& f) {
+  auto& box = mailboxes_[static_cast<std::size_t>(f.rank)];
+  if (box.empty()) return false;
+  while (!box.empty()) {
+    f.pending.push_back(std::move(box.front()));
+    box.pop_front();
+  }
+  return true;
+}
+
+bool TaskBackend::match_pending(Fiber& f, index_t src, int tag, bool pop,
+                                Message* out) {
+  for (auto it = f.pending.begin(); it != f.pending.end(); ++it) {
     if (it->tag == tag && (src == kAnySource || it->src == src)) {
       if (pop) {
         *out = std::move(*it);
-        box.erase(it);
+        f.pending.erase(it);
       }
       return true;
     }
@@ -424,8 +486,8 @@ void TaskBackend::abort_all_locked(const std::string& reason) {
   aborted_ = true;
   for (auto& fp : fibers_) {
     Fiber& f = *fp;
-    if (!f.parked) continue;
-    f.parked = false;
+    if (!f.parked.load(std::memory_order_relaxed)) continue;
+    f.parked.store(false, std::memory_order_relaxed);
     --blocked_;
     f.abort_on_resume = true;
     f.abort_msg = reason + "; rank " + std::to_string(f.rank) +
@@ -441,7 +503,7 @@ void TaskBackend::check_stalled_locked() {
   // every possible sender is itself suspended or finished: deadlock.
   std::string who;
   for (const auto& fp : fibers_) {
-    if (fp->parked) {
+    if (fp->parked.load(std::memory_order_relaxed)) {
       who = "rank " + std::to_string(fp->rank) + " waits for src=" +
             std::to_string(fp->wait_src) + " tag=" +
             std::to_string(fp->wait_tag);
@@ -454,6 +516,10 @@ void TaskBackend::check_stalled_locked() {
 
 TaskBackend::Message TaskBackend::take_match(Fiber& f, index_t src, int tag) {
   for (;;) {
+    // Fast path: drain own rings and match without the state mutex.
+    drain_rings(f);
+    Message out;
+    if (match_pending(f, src, tag, /*pop=*/true, &out)) return out;
     {
       std::lock_guard<std::mutex> lock(state_mutex_);
       if (f.abort_on_resume) {
@@ -465,10 +531,8 @@ TaskBackend::Message TaskBackend::take_match(Fiber& f, index_t src, int tag) {
                             std::to_string(f.rank) +
                             " was waiting in recv when another rank failed");
       }
-      Message out;
-      if (find_match_locked(f.rank, src, tag, /*pop=*/true, &out)) {
-        return out;
-      }
+      drain_overflow_locked(f);
+      if (match_pending(f, src, tag, /*pop=*/true, &out)) return out;
       f.wait_src = src;
       f.wait_tag = tag;
       f.pause = Fiber::Pause::blocked;
@@ -488,27 +552,48 @@ TaskBackend::Message TaskBackend::take_match(Fiber& f, index_t src, int tag) {
 
 bool TaskBackend::take_match_now(Fiber& f, index_t src, int tag,
                                  Message* out) {
-  std::lock_guard<std::mutex> lock(state_mutex_);
-  if (aborted_) {
-    throw DeadlockError("task backend run aborted: rank " +
-                        std::to_string(f.rank) +
-                        " was polling when another rank failed");
+  drain_rings(f);
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    if (aborted_) {
+      throw DeadlockError("task backend run aborted: rank " +
+                          std::to_string(f.rank) +
+                          " was polling when another rank failed");
+    }
+    drain_overflow_locked(f);
   }
-  return find_match_locked(f.rank, src, tag, /*pop=*/true, out);
+  return match_pending(f, src, tag, /*pop=*/true, out);
 }
 
 void TaskBackend::deliver(Fiber& sender, index_t dst, Message msg) {
   const int tag = msg.tag;
+  Fiber& d = *fibers_[static_cast<std::size_t>(dst)];
+  if (rings_on_ && ring(sender.rank, dst).try_push(msg)) {
+    // Dekker handshake with the consumer's park sequence in resume():
+    // the seq_cst fence orders our ring publish before the parked probe,
+    // so either we see parked==true here, or the consumer's post-park
+    // drain sees our message.
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    if (!d.parked.load(std::memory_order_relaxed)) return;
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    if (d.parked.load(std::memory_order_relaxed) && d.wait_tag == tag &&
+        (d.wait_src == kAnySource || d.wait_src == sender.rank)) {
+      d.parked.store(false, std::memory_order_relaxed);
+      --blocked_;
+      // Re-ready on the sending fiber's worker: the payload is hot in its
+      // cache, and the LIFO deque runs the consumer as soon as the sender
+      // next suspends — producer-consumer chains execute depth-first.
+      schedule(d, /*affinity=*/-1);
+    }
+    return;
+  }
+  // Ring full or fast path off: locked overflow queue.
   std::lock_guard<std::mutex> lock(state_mutex_);
   mailboxes_[static_cast<std::size_t>(dst)].push_back(std::move(msg));
-  Fiber& d = *fibers_[static_cast<std::size_t>(dst)];
-  if (d.parked && d.wait_tag == tag &&
+  if (d.parked.load(std::memory_order_relaxed) && d.wait_tag == tag &&
       (d.wait_src == kAnySource || d.wait_src == sender.rank)) {
-    d.parked = false;
+    d.parked.store(false, std::memory_order_relaxed);
     --blocked_;
-    // Re-ready on the sending fiber's worker: the payload is hot in its
-    // cache, and the LIFO deque runs the consumer as soon as the sender
-    // next suspends — producer-consumer chains execute depth-first.
     schedule(d, /*affinity=*/-1);
   }
 }
@@ -546,6 +631,11 @@ RunStats TaskBackend::run(const std::function<void(Process&)>& spmd) {
   aborted_ = false;
   const index_t p = config_.nprocs;
   mailboxes_.assign(static_cast<std::size_t>(p), {});
+  rings_on_ = env_spsc_enabled() && p <= kMaxRingRanks;
+  rings_ = rings_on_ ? std::make_unique<SpscRing<Message>[]>(
+                           static_cast<std::size_t>(p) *
+                           static_cast<std::size_t>(p))
+                     : nullptr;
   fibers_.clear();
   fibers_.reserve(static_cast<std::size_t>(p));
   live_ = p;

@@ -31,9 +31,15 @@
 // aborts with DeadlockError (this subsumes ThreadBackend's "every other
 // rank already finished" rule).
 //
+// Message path: like ThreadBackend, messages travel through per-(src,dst)
+// lock-free SPSC rings (spsc_ring.hpp) and a parked receiver is re-readied
+// through a seq_cst publish/probe handshake against the sender; the locked
+// per-rank mailbox is the ring-overflow fallback.  send_owned() moves the
+// payload buffer through the ring (zero-copy for large panels).
+//
 // Tuning knobs (environment): SPARTS_TASK_WORKERS, SPARTS_TASK_CLUSTER
-// (see task_scheduler.hpp) and SPARTS_TASK_STACK_KB (per-fiber stack,
-// default 1024).
+// (see task_scheduler.hpp), SPARTS_TASK_STACK_KB (per-fiber stack,
+// default 1024) and SPARTS_SPSC=off (disable the ring fast path).
 #pragma once
 
 #include <chrono>
@@ -46,6 +52,7 @@
 #include <vector>
 
 #include "exec/process.hpp"
+#include "exec/spsc_ring.hpp"
 #include "exec/task_scheduler.hpp"
 #include "exec/waitgroup.hpp"
 
@@ -83,7 +90,7 @@ class TaskBackend final : public Comm {
   struct Message {
     index_t src;
     int tag;
-    std::vector<std::byte> payload;
+    Payload payload;
   };
 
   /// Job body: run `f` until it suspends or finishes, then file it.
@@ -103,8 +110,22 @@ class TaskBackend final : public Comm {
   /// Responsive sleep: yields the fiber once (see Process::poll_wait).
   void fiber_poll_wait(Fiber& f, double seconds);
 
-  bool find_match_locked(index_t rank, index_t src, int tag,
-                         bool pop, Message* out);
+  /// Consumer side, lock-free: move everything from rank `f`'s rings into
+  /// its private pending list.  Safe from the fiber itself or (while it is
+  /// suspended) from the worker in resume(): the scheduler hands a fiber
+  /// to one executor at a time, so the SPSC consumer role is preserved.
+  bool drain_rings(Fiber& f);
+  /// Consumer side, under state_mutex_: splice ring-overflow messages
+  /// (and everything when rings are off) into the pending list.
+  bool drain_overflow_locked(Fiber& f);
+  /// Scan `f`'s pending list for the first (src|kAnySource, tag) match.
+  bool match_pending(Fiber& f, index_t src, int tag, bool pop, Message* out);
+  /// The SPSC ring carrying src→dst traffic (valid when rings_on_).
+  SpscRing<Message>& ring(index_t src, index_t dst) {
+    return rings_[static_cast<std::size_t>(dst) *
+                      static_cast<std::size_t>(config_.nprocs) +
+                  static_cast<std::size_t>(src)];
+  }
   /// Abort the run: mark it dead and re-ready every parked fiber so it
   /// unwinds with DeadlockError.  Idempotent.
   void abort_all_locked(const std::string& reason);
@@ -124,7 +145,13 @@ class TaskBackend final : public Comm {
   // --- per-run state -------------------------------------------------
   std::unique_ptr<TaskScheduler> scheduler_;
   std::vector<std::unique_ptr<Fiber>> fibers_;
+  /// Ring-overflow queues, one per destination rank (every message when
+  /// the ring fast path is off).  Guarded by state_mutex_.
   std::vector<std::deque<Message>> mailboxes_;
+  /// p*p SPSC rings, src→dst at rings_[dst*p + src]; null when the fast
+  /// path is off (SPARTS_SPSC=off or nprocs too large).
+  std::unique_ptr<SpscRing<Message>[]> rings_;
+  bool rings_on_ = false;
   /// Guards mailboxes_, fiber park/abort flags and the live/blocked
   /// counters.  Never held across a context switch.
   std::mutex state_mutex_;

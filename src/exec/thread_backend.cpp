@@ -1,5 +1,9 @@
 #include "exec/thread_backend.hpp"
 
+#include <algorithm>
+#include <bit>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 #include <thread>
 #include <utility>
@@ -15,6 +19,42 @@ using Clock = std::chrono::steady_clock;
 
 double seconds_between(Clock::time_point from, Clock::time_point to) {
   return std::chrono::duration<double>(to - from).count();
+}
+
+/// Rings are O(p^2) per backend; past this rank count fall back to the
+/// locked mailboxes (which are O(p)).
+constexpr index_t kMaxRingRanks = 128;
+// Mailbox::ring_hint is 2 x 64 bits, one bit per possible ring source.
+static_assert(kMaxRingRanks <= 128,
+              "ring_hint words must cover every ring source rank");
+
+/// Yield-based spin budget before parking.  yield (not pause): rank
+/// threads routinely oversubscribe the cores, so giving the scheduler the
+/// core is what lets the producer actually produce.
+constexpr int kSpinYields = 32;
+
+/// Spinning pays only while a yield is likely to run the producer next:
+/// with every rank on its own core, or with exactly two ranks (ping-pong
+/// — the yield is a directed handoff even on one core).  Once many ranks
+/// share few cores, each blocked rank's yields cycle through the *other*
+/// spinners before the one runnable producer, multiplying context
+/// switches per delivered message — park immediately instead.
+int spin_budget(index_t nprocs) {
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  return nprocs <= std::max<index_t>(2, static_cast<index_t>(hw))
+             ? kSpinYields
+             : 0;
+}
+
+/// Parked waiters re-check their rings at least this often — a liveness
+/// backstop (the Dekker handshake should make every wakeup explicit) that
+/// also bounds the cost of any missed edge to one slice.
+constexpr auto kParkSlice = std::chrono::milliseconds(5);
+
+bool env_spsc_default(bool config_default) {
+  const char* v = std::getenv("SPARTS_SPSC");
+  if (v == nullptr || *v == '\0') return config_default;
+  return !(std::strcmp(v, "off") == 0 || std::strcmp(v, "0") == 0);
 }
 
 }  // namespace
@@ -52,32 +92,18 @@ class ThreadBackend::RankProcess final : public Process {
 
   void send(index_t dst, int tag,
             std::span<const std::byte> payload) override {
-    SPARTS_CHECK(dst >= 0 && dst < nprocs(),
-                 "send destination " << dst << " out of range");
-    const Clock::time_point t0 = flush_busy();
-    backend_->deliver(
-        dst, Message{rank_, tag,
-                     std::vector<std::byte>(payload.begin(), payload.end())});
-    const Clock::time_point t1 = Clock::now();
-    stats_.send_time += seconds_between(t0, t1);
-    last_mark_ = t1;
-    ++stats_.messages_sent;
-    stats_.words_sent += static_cast<nnz_t>(
-        (payload.size() + sizeof(real_t) - 1) / sizeof(real_t));
-    if (obs::Tracer::enabled()) {
-      auto& tracer = obs::Tracer::instance();
-      const auto r32 = static_cast<std::int32_t>(rank_);
-      tracer.record_local(r32, obs::EventKind::span_begin, obs::Category::comm,
-                          "send", seconds_between(backend_->epoch_, t0),
-                          static_cast<std::int64_t>(payload.size()),
-                          static_cast<std::int64_t>(dst));
-      tracer.record_local(r32, obs::EventKind::span_end, obs::Category::comm,
-                          "send", seconds_between(backend_->epoch_, t1));
+    // Copy lane: capture the payload into a fresh (arena) buffer.
+    post(dst, tag, Payload(payload.begin(), payload.end()),
+         /*copied_bytes=*/payload.size());
+  }
+
+  void send_owned(index_t dst, int tag, Payload&& payload) override {
+    if (payload.size() < kZeroCopyThreshold) {
+      send(dst, tag, {payload.data(), payload.size()});
+      return;
     }
-    if (obs::metrics_enabled()) {
-      obs::metrics().histogram("comm.message_bytes")
-          .observe(static_cast<std::int64_t>(payload.size()));
-    }
+    // Zero-copy lane: the buffer itself travels through the ring.
+    post(dst, tag, std::move(payload), /*copied_bytes=*/0);
   }
 
   ReceivedMessage recv(index_t src, int tag) override {
@@ -137,6 +163,36 @@ class ThreadBackend::RankProcess final : public Process {
   }
 
  private:
+  /// Shared tail of both send lanes: deliver + stats + tracing.
+  void post(index_t dst, int tag, Payload payload, std::size_t copied_bytes) {
+    SPARTS_CHECK(dst >= 0 && dst < nprocs(),
+                 "send destination " << dst << " out of range");
+    const std::size_t bytes = payload.size();
+    const Clock::time_point t0 = flush_busy();
+    backend_->deliver(dst, Message{rank_, tag, std::move(payload)});
+    const Clock::time_point t1 = Clock::now();
+    stats_.send_time += seconds_between(t0, t1);
+    last_mark_ = t1;
+    ++stats_.messages_sent;
+    stats_.words_sent +=
+        static_cast<nnz_t>((bytes + sizeof(real_t) - 1) / sizeof(real_t));
+    stats_.bytes_copied += static_cast<nnz_t>(copied_bytes);
+    if (obs::Tracer::enabled()) {
+      auto& tracer = obs::Tracer::instance();
+      const auto r32 = static_cast<std::int32_t>(rank_);
+      tracer.record_local(r32, obs::EventKind::span_begin, obs::Category::comm,
+                          "send", seconds_between(backend_->epoch_, t0),
+                          static_cast<std::int64_t>(bytes),
+                          static_cast<std::int64_t>(dst));
+      tracer.record_local(r32, obs::EventKind::span_end, obs::Category::comm,
+                          "send", seconds_between(backend_->epoch_, t1));
+    }
+    if (obs::metrics_enabled()) {
+      obs::metrics().histogram("comm.message_bytes")
+          .observe(static_cast<std::int64_t>(bytes));
+    }
+  }
+
   /// Credit wall time since the last communication call as compute time.
   Clock::time_point flush_busy() {
     const Clock::time_point t = Clock::now();
@@ -159,82 +215,210 @@ ThreadBackend::ThreadBackend(const Config& config)
     : config_(config), topology_(config.topology, config.nprocs) {
   SPARTS_CHECK(config.nprocs >= 1, "need at least one processor");
   SPARTS_CHECK(config.recv_timeout > 0.0, "recv_timeout must be positive");
+  config_.use_spsc = env_spsc_default(config.use_spsc);
 }
 
 void ThreadBackend::deliver(index_t dst, Message msg) {
   Mailbox& mb = *mailboxes_[static_cast<std::size_t>(dst)];
+  const index_t src = msg.src;
+  if (mb.rings != nullptr &&
+      mb.rings[static_cast<std::size_t>(src)].try_push(msg)) {
+    // Flag our ring as possibly-nonempty so the consumer's drain visits
+    // only rings with traffic (O(active sources), not O(p)).  The
+    // seq_cst RMW keeps the Dekker argument below intact: it is ordered
+    // before the waiting probe, so a consumer that set waiting first
+    // observes the hint (and hence the message) in its post-park drain.
+    mb.ring_hint[src >> 6].fetch_or(std::uint64_t{1} << (src & 63),
+                                    std::memory_order_seq_cst);
+    // Dekker handshake with the consumer's park sequence: the seq_cst
+    // fence orders our ring publish before the waiting probe, so either
+    // we see waiting==true here (and notify), or the consumer's
+    // post-waiting drain sees our message.  The empty lock/unlock pins
+    // the notify after the consumer has actually entered cv.wait.
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    // Edge-triggered wake: the first push of a burst *claims* the waiting
+    // flag (exchange true->false) and pays the lock+notify round trip;
+    // the rest of the burst sees false and stays on the pure ring path.
+    // The claim cannot lose a wakeup — the claimer always notifies, and a
+    // consumer that re-parks re-arms the flag before its Dekker drain.
+    if (mb.waiting.load(std::memory_order_relaxed) &&
+        mb.waiting.exchange(false, std::memory_order_seq_cst)) {
+      { std::lock_guard<std::mutex> lock(mb.mutex); }
+      mb.cv.notify_one();
+    }
+    return;
+  }
+  // Ring full or fast path off: locked fallback queue.
   {
     std::lock_guard<std::mutex> lock(mb.mutex);
     mb.queue.push_back(std::move(msg));
+    mb.queue_size.store(mb.queue.size(), std::memory_order_release);
   }
-  mb.cv.notify_all();
-}
-
-ThreadBackend::Message ThreadBackend::take_match(index_t rank, index_t src,
-                                                 int tag) {
-  Mailbox& mb = *mailboxes_[static_cast<std::size_t>(rank)];
-  std::unique_lock<std::mutex> lock(mb.mutex);
-  const auto deadline =
-      Clock::now() + std::chrono::duration_cast<Clock::duration>(
-                         std::chrono::duration<double>(config_.recv_timeout));
-
-  auto find = [&] {
-    for (auto it = mb.queue.begin(); it != mb.queue.end(); ++it) {
-      if (it->tag == tag && (src == kAnySource || it->src == src)) return it;
-    }
-    return mb.queue.end();
-  };
-
-  for (;;) {
-    if (auto it = find(); it != mb.queue.end()) {
-      Message msg = std::move(*it);
-      mb.queue.erase(it);
-      return msg;
-    }
-    if (aborted_.load(std::memory_order_acquire)) {
-      throw DeadlockError("thread backend run aborted: rank " +
-                          std::to_string(rank) +
-                          " was waiting in recv when another rank failed");
-    }
-    if (active_.load(std::memory_order_acquire) <= 1) {
-      throw DeadlockError(
-          "thread backend deadlock: rank " + std::to_string(rank) +
-          " waits for src=" + std::to_string(src) +
-          " tag=" + std::to_string(tag) +
-          " but every other rank already finished");
-    }
-    if (mb.cv.wait_until(lock, deadline) == std::cv_status::timeout &&
-        find() == mb.queue.end()) {
-      throw DeadlockError(
-          "thread backend recv timed out after " +
-          std::to_string(config_.recv_timeout) + "s: rank " +
-          std::to_string(rank) + " waits for src=" + std::to_string(src) +
-          " tag=" + std::to_string(tag) + " (likely deadlock)");
-    }
+  // Targeted wakeup: each mailbox has exactly one owner, so notify_one
+  // suffices (the old notify_all woke the whole herd at high p).  With
+  // the rings on the wakeup is edge-triggered like the ring path's: the
+  // push happened under the same mutex the consumer's pre-park queue
+  // drain holds, so a consumer observed waiting is genuinely parked and
+  // one claimed notify per park is enough — a burst that overflows the
+  // ring pays the futex wake once, not per spilled message.
+  if (mb.rings == nullptr ||
+      (mb.waiting.load(std::memory_order_relaxed) &&
+       mb.waiting.exchange(false, std::memory_order_seq_cst))) {
+    mb.cv.notify_one();
   }
 }
 
-bool ThreadBackend::take_match_now(index_t rank, index_t src, int tag,
-                                   Message* out) {
-  Mailbox& mb = *mailboxes_[static_cast<std::size_t>(rank)];
-  std::lock_guard<std::mutex> lock(mb.mutex);
-  if (aborted_.load(std::memory_order_acquire)) {
-    throw DeadlockError("thread backend run aborted: rank " +
-                        std::to_string(rank) +
-                        " was polling when another rank failed");
+bool ThreadBackend::drain_rings(Mailbox& mb) {
+  if (mb.rings == nullptr) return false;
+  bool any = false;
+  Message m;
+  // Visit only the rings whose producers flagged traffic since the last
+  // drain.  exchange(0) claims the whole hint word: a bit set *during*
+  // the drain is either satisfied now (we pop the item anyway) or re-read
+  // on the next drain; a stale bit (item already popped) costs one empty
+  // try_pop.  seq_cst pairs with the producer's fetch_or (see deliver).
+  for (std::size_t w = 0; w < 2; ++w) {
+    std::uint64_t bits = mb.ring_hint[w].exchange(0, std::memory_order_seq_cst);
+    while (bits != 0) {
+      const int bit = std::countr_zero(bits);
+      bits &= bits - 1;
+      const std::size_t s = w * 64 + static_cast<std::size_t>(bit);
+      while (mb.rings[s].try_pop(&m)) {
+        mb.pending.push_back(std::move(m));
+        any = true;
+      }
+    }
   }
-  for (auto it = mb.queue.begin(); it != mb.queue.end(); ++it) {
+  return any;
+}
+
+bool ThreadBackend::drain_queue_locked(Mailbox& mb) {
+  if (mb.queue.empty()) return false;
+  while (!mb.queue.empty()) {
+    mb.pending.push_back(std::move(mb.queue.front()));
+    mb.queue.pop_front();
+  }
+  mb.queue_size.store(0, std::memory_order_release);
+  return true;
+}
+
+bool ThreadBackend::pop_pending(Mailbox& mb, index_t src, int tag,
+                                Message* out) {
+  for (auto it = mb.pending.begin(); it != mb.pending.end(); ++it) {
     if (it->tag == tag && (src == kAnySource || it->src == src)) {
       *out = std::move(*it);
-      mb.queue.erase(it);
+      mb.pending.erase(it);
       return true;
     }
   }
   return false;
 }
 
+ThreadBackend::Message ThreadBackend::take_match(index_t rank, index_t src,
+                                                 int tag) {
+  Mailbox& mb = *mailboxes_[static_cast<std::size_t>(rank)];
+  Message out;
+  if (pop_pending(mb, src, tag, &out)) return out;
+  const auto deadline =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double>(config_.recv_timeout));
+
+  auto throw_aborted = [&] {
+    throw DeadlockError("thread backend run aborted: rank " +
+                        std::to_string(rank) +
+                        " was waiting in recv when another rank failed");
+  };
+
+  const int spins = spin_budget(config_.nprocs);
+  int idle_rounds = 0;
+  for (;;) {
+    // Fast path: drain the rings and match from pending.
+    if (drain_rings(mb)) {
+      if (pop_pending(mb, src, tag, &out)) return out;
+      idle_rounds = 0;  // traffic is flowing; keep consuming the burst
+      continue;
+    }
+    if (aborted_.load(std::memory_order_acquire)) throw_aborted();
+    if (idle_rounds < spins) {
+      ++idle_rounds;
+      std::this_thread::yield();
+      continue;
+    }
+
+    // Slow path: fallback queue, then park.
+    std::unique_lock<std::mutex> lock(mb.mutex);
+    drain_queue_locked(mb);
+    if (pop_pending(mb, src, tag, &out)) return out;
+    mb.waiting.store(true, std::memory_order_seq_cst);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    if (drain_rings(mb)) {  // consumer half of the Dekker handshake
+      mb.waiting.store(false, std::memory_order_relaxed);
+      if (pop_pending(mb, src, tag, &out)) return out;
+      idle_rounds = 0;
+      continue;
+    }
+    if (aborted_.load(std::memory_order_acquire)) {
+      mb.waiting.store(false, std::memory_order_relaxed);
+      throw_aborted();
+    }
+    if (active_.load(std::memory_order_acquire) <= 1) {
+      mb.waiting.store(false, std::memory_order_relaxed);
+      throw DeadlockError(
+          "thread backend deadlock: rank " + std::to_string(rank) +
+          " waits for src=" + std::to_string(src) +
+          " tag=" + std::to_string(tag) +
+          " but every other rank already finished");
+    }
+    mb.cv.wait_until(lock, std::min(deadline, Clock::now() + kParkSlice));
+    mb.waiting.store(false, std::memory_order_relaxed);
+    drain_queue_locked(mb);
+    drain_rings(mb);
+    if (pop_pending(mb, src, tag, &out)) return out;
+    if (Clock::now() >= deadline) {
+      throw DeadlockError(
+          "thread backend recv timed out after " +
+          std::to_string(config_.recv_timeout) + "s: rank " +
+          std::to_string(rank) + " waits for src=" + std::to_string(src) +
+          " tag=" + std::to_string(tag) + " (likely deadlock)");
+    }
+    idle_rounds = 0;
+  }
+}
+
+bool ThreadBackend::take_match_now(index_t rank, index_t src, int tag,
+                                   Message* out) {
+  Mailbox& mb = *mailboxes_[static_cast<std::size_t>(rank)];
+  drain_rings(mb);
+  if (aborted_.load(std::memory_order_acquire)) {
+    throw DeadlockError("thread backend run aborted: rank " +
+                        std::to_string(rank) +
+                        " was polling when another rank failed");
+  }
+  // With the rings on, the fallback queue only sees overflow traffic:
+  // skip the mutex round trip whenever the atomic size says it is empty.
+  // A concurrent overflow push we race past is caught by the caller's
+  // poll loop (the producer's notify wakes the next poll_wait).
+  if (mb.rings == nullptr ||
+      mb.queue_size.load(std::memory_order_acquire) != 0) {
+    std::lock_guard<std::mutex> lock(mb.mutex);
+    drain_queue_locked(mb);
+  }
+  return pop_pending(mb, src, tag, out);
+}
+
 void ThreadBackend::wait_on_mailbox(index_t rank, double seconds) {
   Mailbox& mb = *mailboxes_[static_cast<std::size_t>(rank)];
+  // Lock-free early out: arrivals since the caller's last drain mean its
+  // next try_recv will find traffic, so skip the mutex and the condvar
+  // entirely.  (The caller's take_match_now drains rings and hints first,
+  // so a stale hint bit cannot make this loop spin.)
+  if (mb.rings != nullptr &&
+      !aborted_.load(std::memory_order_acquire) &&
+      (mb.queue_size.load(std::memory_order_acquire) != 0 ||
+       mb.ring_hint[0].load(std::memory_order_seq_cst) != 0 ||
+       mb.ring_hint[1].load(std::memory_order_seq_cst) != 0)) {
+    return;
+  }
   std::unique_lock<std::mutex> lock(mb.mutex);
   if (aborted_.load(std::memory_order_acquire)) {
     throw DeadlockError("thread backend run aborted: rank " +
@@ -244,7 +428,24 @@ void ThreadBackend::wait_on_mailbox(index_t rank, double seconds) {
   // Every peer finished: nothing new can arrive, so return at once and
   // let the caller's retry budget expire instead of sleeping it out.
   if (active_.load(std::memory_order_acquire) <= 1) return;
-  mb.cv.wait_for(lock, std::chrono::duration<double>(seconds));
+  mb.waiting.store(true, std::memory_order_seq_cst);
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  // Undrained ring items (or fallback-queue items) arrived after the
+  // caller's last try_recv drain: that is exactly the "message delivery"
+  // this wait is supposed to wake early for.
+  bool arrivals = !mb.queue.empty();
+  if (!arrivals && mb.rings != nullptr) {
+    // Peek (not exchange): wait_on_mailbox does not drain, so consuming
+    // the hint here would hide the arrival from the next drain_rings.
+    // A stale hint bit causes at worst one early return; the caller's
+    // retry loop re-polls and comes back.
+    arrivals = mb.ring_hint[0].load(std::memory_order_seq_cst) != 0 ||
+               mb.ring_hint[1].load(std::memory_order_seq_cst) != 0;
+  }
+  if (!arrivals) {
+    mb.cv.wait_for(lock, std::chrono::duration<double>(seconds));
+  }
+  mb.waiting.store(false, std::memory_order_relaxed);
   if (aborted_.load(std::memory_order_acquire)) {
     throw DeadlockError("thread backend run aborted: rank " +
                         std::to_string(rank) +
@@ -265,8 +466,14 @@ RunStats ThreadBackend::run(const std::function<void(Process&)>& spmd) {
   aborted_.store(false, std::memory_order_release);
   mailboxes_.clear();
   mailboxes_.reserve(static_cast<std::size_t>(config_.nprocs));
+  const bool rings_on = config_.use_spsc && config_.nprocs <= kMaxRingRanks;
   for (index_t r = 0; r < config_.nprocs; ++r) {
-    mailboxes_.push_back(std::make_unique<Mailbox>());
+    auto mb = std::make_unique<Mailbox>();
+    if (rings_on) {
+      mb->rings = std::make_unique<SpscRing<Message>[]>(
+          static_cast<std::size_t>(config_.nprocs));
+    }
+    mailboxes_.push_back(std::move(mb));
   }
   errors_.assign(static_cast<std::size_t>(config_.nprocs), nullptr);
   active_.store(config_.nprocs, std::memory_order_release);

@@ -1,13 +1,24 @@
-// The real multithreaded backend: each rank is a std::thread, messages move
-// through per-rank mutex+condvar MPSC mailboxes, and every statistic is a
-// wall-clock measurement.
+// The real multithreaded backend: each rank is a std::thread and messages
+// move through per-(src,dst) lock-free SPSC rings with a mutex+condvar
+// mailbox as the overflow/parking fallback.
 //
-// Semantics relative to the Process contract:
-//   * send() copies the payload into the destination mailbox and returns —
-//     buffered-send, never blocks on the receiver (matching the simulator).
-//   * recv() blocks until a message matching (src|kAnySource, tag) is in
-//     the mailbox; among matches it takes the earliest in queue order,
-//     which is arrival order because senders push under the mailbox lock.
+// Message path (see also spsc_ring.hpp):
+//   * send() pushes into the destination's ring for this source — no lock,
+//     no allocation beyond the payload capture — and wakes the receiver
+//     only if it advertised that it is parked.  A full ring spills to the
+//     locked fallback queue, so send() never blocks (buffered-send).
+//   * send_owned() is the zero-copy lane: the payload buffer itself moves
+//     through the ring, so the backend copies zero bytes for large panels
+//     (ProcStats::bytes_copied counts what the copy lane still copies).
+//   * recv() drains the rings into a consumer-private pending list and
+//     matches (src|kAnySource, tag) there; with no match it spins briefly
+//     (yield-based: on an oversubscribed host the sender needs the core),
+//     then parks on the mailbox condvar with a Dekker-style seq_cst
+//     handshake against the sender's wakeup check so no wakeup is lost.
+//     Per-source arrival order is preserved; cross-source order among
+//     matches is whatever the drain observed, which the Process contract
+//     permits (the repo's tag discipline keeps in-flight (src,dst,tag)
+//     unique, so matching is unambiguous anyway).
 //   * compute()/compute_at() only count flops: the caller's kernel already
 //     ran for real, so wall time is the truth.  elapse() is a no-op.
 //   * now() is wall-clock seconds since the start of the current run.
@@ -22,6 +33,7 @@
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <exception>
 #include <memory>
@@ -29,6 +41,7 @@
 #include <vector>
 
 #include "exec/process.hpp"
+#include "exec/spsc_ring.hpp"
 
 namespace sparts::exec {
 
@@ -42,6 +55,10 @@ class ThreadBackend final : public Comm {
     TopologyKind topology = TopologyKind::fully_connected;
     /// A recv() with no match for this long is declared a deadlock.
     double recv_timeout = 60.0;
+    /// Use the SPSC ring fast path (false = every message through the
+    /// locked fallback mailbox; SPARTS_SPSC=off flips the default —
+    /// bench_msgpath uses this for its before/after columns).
+    bool use_spsc = true;
   };
 
   explicit ThreadBackend(const Config& config);
@@ -58,24 +75,46 @@ class ThreadBackend final : public Comm {
   struct Message {
     index_t src;
     int tag;
-    std::vector<std::byte> payload;
+    Payload payload;
   };
 
   struct Mailbox {
+    // --- consumer-private (only the owning rank's thread touches it) ---
+    std::deque<Message> pending;  ///< drained, not-yet-matched messages
+    // --- shared fallback path --------------------------------------
     std::mutex mutex;
     std::condition_variable cv;
-    std::deque<Message> queue;  ///< push order == arrival order
+    std::deque<Message> queue;  ///< ring overflow / rings-disabled path
+    /// queue.size(), maintained under mutex but readable without it:
+    /// lets the SPSC poll path (try_recv / poll_wait) skip the lock
+    /// entirely when the fallback queue is empty — which it almost
+    /// always is when the rings are on.
+    std::atomic<std::size_t> queue_size{0};
+    /// Owner is parked (or about to park) in recv; senders that see this
+    /// after their ring push take the mutex and notify.  seq_cst paired
+    /// with the ring push/drain — see take_match for the handshake.
+    std::atomic<bool> waiting{false};
+    /// One SPSC ring per source rank; null when the fast path is off.
+    std::unique_ptr<SpscRing<Message>[]> rings;
+    /// Producer-set "ring src may be nonempty" bitmask (bit src&63 of
+    /// word src>>6; 2 words cover kMaxRingRanks sources).  Senders
+    /// fetch_or their bit after a ring push; the consumer exchange(0)'s
+    /// each word in drain_rings and visits only flagged rings, making a
+    /// drain O(active sources) instead of O(p).  A stale set bit costs
+    /// one empty-ring check; a pushed-but-unset bit cannot be observed
+    /// (the fetch_or is seq_cst and precedes the sender's park probe).
+    std::atomic<std::uint64_t> ring_hint[2]{};
   };
 
-  /// Push `msg` into rank `dst`'s mailbox and wake its owner.
+  /// Push `msg` to rank `dst`: ring fast path, locked queue fallback.
   void deliver(index_t dst, Message msg);
 
-  /// Remove and return the first queued message for `rank` matching
+  /// Remove and return a pending/queued message for `rank` matching
   /// (src|kAnySource, tag); blocks until one exists.  Throws DeadlockError
   /// on abort, timeout, or when no live peer can still send one.
   Message take_match(index_t rank, index_t src, int tag);
 
-  /// Non-blocking variant: pop a match if one is queued right now.
+  /// Non-blocking variant: pop a match if one is available right now.
   /// Throws DeadlockError when the run has been aborted (a crashed rank
   /// must not leave pollers spinning on a dead run).
   bool take_match_now(index_t rank, index_t src, int tag, Message* out);
@@ -87,6 +126,13 @@ class ThreadBackend final : public Comm {
   /// Briefly acquire and release every mailbox lock, then notify: ensures
   /// ranks mid-predicate-check cannot miss an abort / peer-exit signal.
   void wake_all_mailboxes();
+
+  /// Consumer side: move everything from `mb`'s rings into pending.
+  bool drain_rings(Mailbox& mb);
+  /// Consumer side, under mb.mutex: splice the fallback queue into pending.
+  bool drain_queue_locked(Mailbox& mb);
+  /// Scan pending for the first (src|kAnySource, tag) match and pop it.
+  bool pop_pending(Mailbox& mb, index_t src, int tag, Message* out);
 
   Config config_;
   Topology topology_;

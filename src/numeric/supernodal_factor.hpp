@@ -10,6 +10,7 @@
 #include <span>
 #include <vector>
 
+#include "common/arena.hpp"
 #include "common/types.hpp"
 #include "symbolic/supernodes.hpp"
 
@@ -51,7 +52,9 @@ class SupernodalFactor {
  private:
   symbolic::SupernodePartition part_;
   std::vector<nnz_t> offset_;
-  std::vector<real_t> values_;
+  /// Arena-backed (common/arena.hpp): the factor is by far the largest
+  /// allocation in a solve, so it benefits most from huge pages.
+  common::ArenaVector<real_t> values_;
 };
 
 }  // namespace sparts::numeric

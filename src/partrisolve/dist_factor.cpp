@@ -52,7 +52,7 @@ DistributedFactor DistributedFactor::pack_from(
   return df;
 }
 
-std::vector<real_t>& DistributedFactor::local_block(index_t rank, index_t s) {
+PanelVector& DistributedFactor::local_block(index_t rank, index_t s) {
   auto& m = storage_[static_cast<std::size_t>(rank)];
   auto it = m.find(s);
   SPARTS_CHECK(it != m.end(),
@@ -60,7 +60,7 @@ std::vector<real_t>& DistributedFactor::local_block(index_t rank, index_t s) {
   return it->second;
 }
 
-const std::vector<real_t>& DistributedFactor::local_block(index_t rank,
+const PanelVector& DistributedFactor::local_block(index_t rank,
                                                           index_t s) const {
   const auto& m = storage_[static_cast<std::size_t>(rank)];
   auto it = m.find(s);

@@ -13,11 +13,16 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/arena.hpp"
 #include "common/types.hpp"
 #include "mapping/subtree_to_subcube.hpp"
 #include "numeric/supernodal_factor.hpp"
 
 namespace sparts::partrisolve {
+
+/// Packed panel values live in the arena: a rank's thread first-touches
+/// (and therefore NUMA-places) exactly the blocks it will consume.
+using PanelVector = common::ArenaVector<real_t>;
 
 class DistributedFactor {
  public:
@@ -38,8 +43,8 @@ class DistributedFactor {
 
   /// Mutable local block of (world rank, supernode): packed owned rows x
   /// width(s), column-major, ld = local row count.
-  std::vector<real_t>& local_block(index_t rank, index_t s);
-  const std::vector<real_t>& local_block(index_t rank, index_t s) const;
+  PanelVector& local_block(index_t rank, index_t s);
+  const PanelVector& local_block(index_t rank, index_t s) const;
 
   bool has_block(index_t rank, index_t s) const;
 
@@ -49,7 +54,7 @@ class DistributedFactor {
  private:
   index_t block_size_ = 8;
   /// per world rank: supernode -> packed values.
-  std::vector<std::unordered_map<index_t, std::vector<real_t>>> storage_;
+  std::vector<std::unordered_map<index_t, PanelVector>> storage_;
   std::vector<std::unordered_map<index_t, index_t>> local_rows_;
 };
 

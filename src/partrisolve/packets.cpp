@@ -6,12 +6,12 @@
 
 namespace sparts::partrisolve {
 
-std::vector<std::byte> pack_rhs(const RhsPacket& p, index_t m) {
+exec::Payload pack_rhs(const RhsPacket& p, index_t m) {
   SPARTS_CHECK(p.values.size() ==
                p.positions.size() * static_cast<std::size_t>(m));
   const index_t count = static_cast<index_t>(p.positions.size());
-  std::vector<std::byte> out(sizeof(index_t) * (1 + p.positions.size()) +
-                             sizeof(real_t) * p.values.size());
+  exec::Payload out(sizeof(index_t) * (1 + p.positions.size()) +
+                    sizeof(real_t) * p.values.size());
   std::size_t off = 0;
   auto put = [&](const void* src, std::size_t len) {
     std::memcpy(out.data() + off, src, len);

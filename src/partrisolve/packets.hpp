@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/types.hpp"
+#include "exec/process.hpp"
 
 namespace sparts::partrisolve {
 
@@ -17,8 +18,10 @@ struct RhsPacket {
   bool empty() const { return positions.empty(); }
 };
 
-/// Serialize: [count][positions...][values...].
-std::vector<std::byte> pack_rhs(const RhsPacket& p, index_t m);
+/// Serialize: [count][positions...][values...].  Returns an owned Payload
+/// so callers can hand the buffer to Process::send_owned and large panels
+/// ride the zero-copy lane.
+exec::Payload pack_rhs(const RhsPacket& p, index_t m);
 
 /// Inverse of pack_rhs.
 RhsPacket unpack_rhs(std::span<const std::byte> bytes, index_t m);

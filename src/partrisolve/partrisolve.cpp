@@ -7,6 +7,7 @@
 #include "common/checks.hpp"
 #include "common/error.hpp"
 #include "common/finite.hpp"
+#include "common/prefetch.hpp"
 #include "dense/kernels.hpp"
 #include "obs/span.hpp"
 #include "mapping/block_cyclic.hpp"
@@ -181,6 +182,16 @@ void fw_apply_token_to_my_blocks(exec::Process& proc, const PhaseContext& ctx,
        i += lay.q) {
     const index_t i0 = lay.block_begin(i);
     const index_t len = lay.block_end(i) - i0;
+    // Warm the next owned block's L panel while this GEMM runs: the walk
+    // is strided by q, so the hardware prefetcher does not see it coming.
+    const index_t inext = i + lay.q;
+    if (inext < lay.num_blocks()) {
+      common::prefetch_panel(
+          lv.col(c0) + lv.row(lay.block_begin(inext)),
+          static_cast<std::size_t>(lay.block_end(inext) -
+                                   lay.block_begin(inext)) *
+              sizeof(real_t));
+    }
     dense::panel_gemm(len, ctx.m, bk, -1.0, lv.col(c0) + lv.row(i0), lv.ld,
                       token.data(), bk, v + lay.local_of(i0), ldv);
     proc.compute_at(static_cast<double>(dense::gemm_flops(len, ctx.m, bk)),
@@ -430,6 +441,16 @@ void bw_pipelined(exec::Process& proc, const PhaseContext& ctx, index_t s,
          i += q) {
       const index_t i0 = lay.block_begin(i);
       const index_t len = lay.block_end(i) - i0;
+      // Warm the next owned block's L panel (q-strided walk, see the
+      // forward sweep).
+      const index_t inext = i + q;
+      if (inext < lay.num_blocks()) {
+        common::prefetch_panel(
+            lv.col(c0) + lv.row(lay.block_begin(inext)),
+            static_cast<std::size_t>(lay.block_end(inext) -
+                                     lay.block_begin(inext)) *
+                sizeof(real_t));
+      }
       dense::panel_gemm_at(bk, m, len, 1.0, lv.col(c0) + lv.row(i0), lv.ld,
                            w + lay.local_of(i0), ldw, acc.data(), bk);
       proc.compute_at(static_cast<double>(dense::gemm_flops(bk, m, len)),
@@ -505,6 +526,16 @@ void bw_fan_in(exec::Process& proc, const PhaseContext& ctx, index_t s,
          i += q) {
       const index_t i0 = lay.block_begin(i);
       const index_t len = lay.block_end(i) - i0;
+      // Warm the next owned block's L panel (q-strided walk, see the
+      // forward sweep).
+      const index_t inext = i + q;
+      if (inext < lay.num_blocks()) {
+        common::prefetch_panel(
+            lv.col(c0) + lv.row(lay.block_begin(inext)),
+            static_cast<std::size_t>(lay.block_end(inext) -
+                                     lay.block_begin(inext)) *
+                sizeof(real_t));
+      }
       dense::panel_gemm_at(bk, m, len, 1.0, lv.col(c0) + lv.row(i0), lv.ld,
                            w + lay.local_of(i0), ldw, acc.data(), bk);
       proc.compute_at(static_cast<double>(dense::gemm_flops(bk, m, len)),
@@ -586,6 +617,18 @@ LView make_view(const numeric::SupernodalFactor& factor,
 
 }  // namespace
 
+int DistributedTrisolver::tag_limit() const {
+  const auto& part = factor_.partition();
+  const index_t nsup = part.num_supernodes();
+  if (nsup == 0) return 0;
+  // Every solver tag is 4 * <global block id> + {0..3} (contribution and
+  // copy tags use the supernode id, which is <= its first block id), so
+  // 4 * total blocks bounds them all.
+  const index_t b = options_.block_size;
+  const index_t total = block_base_.back() + (part.width(nsup - 1) + b - 1) / b;
+  return static_cast<int>(4 * total);
+}
+
 PhaseReport DistributedTrisolver::forward(exec::Comm& machine,
                                           std::span<const real_t> b_in,
                                           std::span<real_t> y_out,
@@ -619,6 +662,10 @@ PhaseReport DistributedTrisolver::forward(exec::Comm& machine,
       SPARTS_TRACE_SPAN(proc, obs::Category::compute, "fw.supernode",
                         static_cast<std::int64_t>(s),
                         static_cast<std::int64_t>(g.count));
+      // Fusion hook: runs before any factor block of s is read, so a
+      // fused redistribution can deliver the supernode's 1-D fragments
+      // just in time for the solve below (tags disjoint by tag_limit()).
+      if (forward_prologue_) forward_prologue_(proc, s);
       const index_t r = w - g.base;
       const Layout lay = layout_of(ctx, s);
       const index_t nloc = lay.local_count(r);
@@ -717,7 +764,7 @@ PhaseReport DistributedTrisolver::forward(exec::Comm& machine,
           }
         }
         for (auto& [dst, pkt] : buckets) {
-          proc.send(dst, tag_fw_contrib(s), pack_rhs(pkt, m));
+          proc.send_owned(dst, tag_fw_contrib(s), pack_rhs(pkt, m));
         }
       }
       bufs.erase(s);
@@ -858,7 +905,7 @@ PhaseReport DistributedTrisolver::backward(exec::Comm& machine,
           }
         }
         for (auto& [dst, pkt] : buckets) {
-          proc.send(dst, tag_bw_copy(c), pack_rhs(pkt, m));
+          proc.send_owned(dst, tag_bw_copy(c), pack_rhs(pkt, m));
         }
       }
       bufs.erase(s);

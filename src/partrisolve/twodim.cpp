@@ -367,7 +367,7 @@ std::pair<PhaseReport, PhaseReport> solve_two_dim(
             }
           }
           for (auto& [dst, pkt] : buckets) {
-            proc.send(dst, tag_fw_contrib(s), pack_rhs(pkt, m));
+            proc.send_owned(dst, tag_fw_contrib(s), pack_rhs(pkt, m));
           }
         }
         bufs.erase(s);
@@ -625,7 +625,7 @@ std::pair<PhaseReport, PhaseReport> solve_two_dim(
             }
           }
           for (auto& [dst, pkt] : buckets) {
-            proc.send(dst, tag_bw_copy(c), pack_rhs(pkt, m));
+            proc.send_owned(dst, tag_bw_copy(c), pack_rhs(pkt, m));
           }
         }
         bufs.erase(s);

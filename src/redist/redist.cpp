@@ -36,22 +36,16 @@ std::vector<index_t> owned_rows_2d(index_t ns, index_t bf, index_t qr,
   return rows;
 }
 
-}  // namespace
-
-Report redistribute_factor(exec::Comm& machine,
-                           const numeric::SupernodalFactor& factor,
-                           const mapping::SubcubeMapping& map,
-                           const Options& options,
-                           partrisolve::DistributedFactor* out) {
-  const auto& part = factor.partition();
-  SPARTS_CHECK(machine.nprocs() == map.p);
+/// The 2-D source and 1-D target distributions of every shared supernode
+/// must partition its trapezoid; validating the maps up front turns a
+/// misrouted-layout bug into a named diagnostic instead of a silently
+/// wrong factor.
+void validate_maps(const symbolic::SupernodePartition& part,
+                   const mapping::SubcubeMapping& map,
+                   const Options& options) {
   SPARTS_CHECK(options.block_2d >= 1 && options.block_1d >= 1,
                "redistribution block sizes must be >= 1");
   SPARTS_VALIDATE_CHEAP(map.check_consistent(part));
-  // The 2-D source and 1-D target distributions of every shared supernode
-  // must partition its trapezoid; validating the maps here turns a
-  // misrouted-layout bug into a named diagnostic instead of a silently
-  // wrong factor.
   if (checks_at_least(CheckLevel::expensive)) {
     for (index_t s = 0; s < part.num_supernodes(); ++s) {
       const exec::Group& g = map.group[static_cast<std::size_t>(s)];
@@ -62,96 +56,129 @@ Report redistribute_factor(exec::Comm& machine,
           mapping::BlockCyclic1d{options.block_1d, g.count}, part.height(s));
     }
   }
+}
+
+}  // namespace
+
+void prepack_sequential(const numeric::SupernodalFactor& factor,
+                        const mapping::SubcubeMapping& map,
+                        const Options& options,
+                        partrisolve::DistributedFactor* out) {
+  const auto& part = factor.partition();
+  SPARTS_CHECK(out != nullptr, "prepack_sequential needs output storage");
+  validate_maps(part, map, options);
+  *out = partrisolve::DistributedFactor(part, map, options.block_1d);
+  // Sequential supernodes do not move between the distributions (a
+  // single owner holds the whole trapezoid either way): pack directly.
+  for (index_t s = 0; s < part.num_supernodes(); ++s) {
+    const exec::Group& g = map.group[static_cast<std::size_t>(s)];
+    if (g.count != 1) continue;
+    auto& local = out->local_block(g.base, s);
+    const auto block = factor.block(s);
+    std::copy(block.begin(), block.end(), local.begin());
+  }
+}
+
+void redistribute_supernode(exec::Process& proc,
+                            const numeric::SupernodalFactor& factor,
+                            const mapping::SubcubeMapping& map,
+                            const Options& options, index_t s,
+                            partrisolve::DistributedFactor* out,
+                            int tag_base) {
+  const auto& part = factor.partition();
+  const index_t w = proc.rank();
+  const exec::Group g = map.group[static_cast<std::size_t>(s)];
+  if (g.count < 2 || !g.contains(w)) return;
+  SPARTS_TRACE_SPAN(proc, obs::Category::compute, "redist.supernode",
+                    static_cast<std::int64_t>(s),
+                    static_cast<std::int64_t>(g.count));
+  const index_t q = g.count;
+  const index_t r = g.local(w);
+  const index_t ns = part.height(s);
+  const index_t t = part.width(s);
+  const auto block = factor.block(s);
+
+  const mapping::BlockCyclic2d grid =
+      mapping::BlockCyclic2d::near_square(q, options.block_2d);
+  const partrisolve::Layout lay1d{q, options.block_1d, ns, t};
+  const index_t gr = r / grid.qc;
+  const index_t gc = r % grid.qc;
+
+  // My 2-D piece: rows owned by my grid row, columns by my grid column.
+  const std::vector<index_t> my_rows =
+      owned_rows_2d(ns, options.block_2d, grid.qr, gr);
+  const std::vector<index_t> my_cols =
+      owned_cols(t, options.block_2d, grid.qc, gc);
+
+  // Outgoing: for each of my rows, all my columns' values go to the
+  // row's 1-D owner.  Canonical order: rows ascending, columns
+  // ascending — the receiver reproduces it exactly.
+  std::vector<std::vector<real_t>> outgoing(static_cast<std::size_t>(q));
+  for (index_t i : my_rows) {
+    const index_t dst = lay1d.owner_of(i);
+    auto& payload = outgoing[static_cast<std::size_t>(dst)];
+    for (index_t k : my_cols) {
+      // Entries above the pivot diagonal are structural zeros of the
+      // trapezoid; they still move (the storage is dense).
+      payload.push_back(block[static_cast<std::size_t>(k * ns + i)]);
+    }
+  }
+  nnz_t pack_words = 0;
+  for (const auto& o : outgoing) pack_words += static_cast<nnz_t>(o.size());
+  proc.compute_at(static_cast<double>(pack_words), proc.cost().t_mem);
+
+  auto incoming = exec::all_to_all_personalized(
+      proc, g, std::move(outgoing), tag_base + static_cast<int>(8 * s));
+
+  // Receive side: rebuild my 1-D rows and verify against the factor.
+  for (index_t src = 0; src < q; ++src) {
+    const index_t src_gr = src / grid.qc;
+    const index_t src_gc = src % grid.qc;
+    const std::vector<index_t> src_cols =
+        owned_cols(t, options.block_2d, grid.qc, src_gc);
+    std::size_t cursor = 0;
+    const auto& in = incoming[static_cast<std::size_t>(src)];
+    for (index_t i = 0; i < ns; ++i) {
+      if ((i / options.block_2d) % grid.qr != src_gr) continue;
+      if (lay1d.owner_of(i) != r) continue;
+      for (index_t k : src_cols) {
+        SPARTS_CHECK(cursor < in.size(), "short redistribution payload");
+        const real_t expected = block[static_cast<std::size_t>(k * ns + i)];
+        SPARTS_CHECK(in[cursor] == expected,
+                     "misrouted entry at supernode "
+                         << s << " position (" << i << ", " << k << ")");
+        if (out != nullptr) {
+          auto& local = out->local_block(w, s);
+          const index_t nloc = out->local_rows(w, s);
+          local[static_cast<std::size_t>(k * nloc + lay1d.local_of(i))] =
+              in[cursor];
+        }
+        ++cursor;
+      }
+    }
+    SPARTS_CHECK(cursor == in.size(), "long redistribution payload");
+    proc.compute_at(static_cast<double>(cursor), proc.cost().t_mem);
+  }
+}
+
+Report redistribute_factor(exec::Comm& machine,
+                           const numeric::SupernodalFactor& factor,
+                           const mapping::SubcubeMapping& map,
+                           const Options& options,
+                           partrisolve::DistributedFactor* out) {
+  const auto& part = factor.partition();
+  SPARTS_CHECK(machine.nprocs() == map.p);
   const index_t nsup = part.num_supernodes();
   if (out != nullptr) {
-    *out = partrisolve::DistributedFactor(part, map, options.block_1d);
-    // Sequential supernodes do not move between the distributions (a
-    // single owner holds the whole trapezoid either way): pack directly.
-    for (index_t s = 0; s < nsup; ++s) {
-      const exec::Group& g = map.group[static_cast<std::size_t>(s)];
-      if (g.count != 1) continue;
-      auto& local = out->local_block(g.base, s);
-      const auto block = factor.block(s);
-      std::copy(block.begin(), block.end(), local.begin());
-    }
+    prepack_sequential(factor, map, options, out);
+  } else {
+    validate_maps(part, map, options);
   }
 
   auto spmd = [&](exec::Process& proc) {
-    const index_t w = proc.rank();
     for (index_t s = 0; s < nsup; ++s) {
-      const exec::Group g = map.group[static_cast<std::size_t>(s)];
-      if (g.count < 2 || !g.contains(w)) continue;
-      SPARTS_TRACE_SPAN(proc, obs::Category::compute, "redist.supernode",
-                        static_cast<std::int64_t>(s),
-                        static_cast<std::int64_t>(g.count));
-      const index_t q = g.count;
-      const index_t r = g.local(w);
-      const index_t ns = part.height(s);
-      const index_t t = part.width(s);
-      const auto block = factor.block(s);
-
-      const mapping::BlockCyclic2d grid =
-          mapping::BlockCyclic2d::near_square(q, options.block_2d);
-      const partrisolve::Layout lay1d{q, options.block_1d, ns, t};
-      const index_t gr = r / grid.qc;
-      const index_t gc = r % grid.qc;
-
-      // My 2-D piece: rows owned by my grid row, columns by my grid column.
-      const std::vector<index_t> my_rows =
-          owned_rows_2d(ns, options.block_2d, grid.qr, gr);
-      const std::vector<index_t> my_cols =
-          owned_cols(t, options.block_2d, grid.qc, gc);
-
-      // Outgoing: for each of my rows, all my columns' values go to the
-      // row's 1-D owner.  Canonical order: rows ascending, columns
-      // ascending — the receiver reproduces it exactly.
-      std::vector<std::vector<real_t>> outgoing(static_cast<std::size_t>(q));
-      for (index_t i : my_rows) {
-        const index_t dst = lay1d.owner_of(i);
-        auto& payload = outgoing[static_cast<std::size_t>(dst)];
-        for (index_t k : my_cols) {
-          // Entries above the pivot diagonal are structural zeros of the
-          // trapezoid; they still move (the storage is dense).
-          payload.push_back(block[static_cast<std::size_t>(k * ns + i)]);
-        }
-      }
-      nnz_t pack_words = 0;
-      for (const auto& o : outgoing) pack_words += static_cast<nnz_t>(o.size());
-      proc.compute_at(static_cast<double>(pack_words), proc.cost().t_mem);
-
-      auto incoming = exec::all_to_all_personalized(
-          proc, g, std::move(outgoing), static_cast<int>(8 * s));
-
-      // Receive side: rebuild my 1-D rows and verify against the factor.
-      for (index_t src = 0; src < q; ++src) {
-        const index_t src_gr = src / grid.qc;
-        const index_t src_gc = src % grid.qc;
-        const std::vector<index_t> src_cols =
-            owned_cols(t, options.block_2d, grid.qc, src_gc);
-        std::size_t cursor = 0;
-        const auto& in = incoming[static_cast<std::size_t>(src)];
-        for (index_t i = 0; i < ns; ++i) {
-          if ((i / options.block_2d) % grid.qr != src_gr) continue;
-          if (lay1d.owner_of(i) != r) continue;
-          for (index_t k : src_cols) {
-            SPARTS_CHECK(cursor < in.size(), "short redistribution payload");
-            const real_t expected =
-                block[static_cast<std::size_t>(k * ns + i)];
-            SPARTS_CHECK(in[cursor] == expected,
-                         "misrouted entry at supernode "
-                             << s << " position (" << i << ", " << k << ")");
-            if (out != nullptr) {
-              auto& local = out->local_block(w, s);
-              const index_t nloc = out->local_rows(w, s);
-              local[static_cast<std::size_t>(k * nloc + lay1d.local_of(i))] =
-                  in[cursor];
-            }
-            ++cursor;
-          }
-        }
-        SPARTS_CHECK(cursor == in.size(), "long redistribution payload");
-        proc.compute_at(static_cast<double>(cursor), proc.cost().t_mem);
-      }
+      redistribute_supernode(proc, factor, map, options, s, out,
+                             /*tag_base=*/0);
     }
   };
 

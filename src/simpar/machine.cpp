@@ -106,6 +106,9 @@ void Machine::do_send(index_t rank, index_t dst, int tag,
   pc.stats.send_time += occupancy;
   ++pc.stats.messages_sent;
   pc.stats.words_sent += words;
+  // The simulator always captures the payload (it models a distributed
+  // machine, not shared memory), so its copy lane is the whole lane.
+  pc.stats.bytes_copied += static_cast<nnz_t>(payload.size());
 
   // The machine mutex is held here, so use pc.clock directly — calling
   // do_now() would self-deadlock.

@@ -77,7 +77,7 @@ class Machine final : public exec::Comm {
     int tag;
     double arrival;
     nnz_t seq;  ///< global send order, tie-breaker
-    std::vector<std::byte> payload;
+    exec::Payload payload;
   };
 
   enum class Status { ready, blocked, done };

@@ -358,11 +358,19 @@ ParallelSolveResult parallel_solve(const sparse::SymmetricCsc& a,
 
   // Phase 2: redistribute the factor 2-D -> 1-D for the solvers.  The
   // rank-local storage produced here is what the solve phase reads.
+  // Under fusion the conversion of shared supernodes moves into the
+  // forward sweep (phase 3); only the host-side prepack of sequential
+  // supernodes — which never travel — happens here.
   const mapping::SubcubeMapping solve_map =
       mapping::subtree_to_subcube(part, p);
   const redist::Options redist_options;
   partrisolve::DistributedFactor local_factor;
-  {
+  if (options.fuse_redistribution) {
+    obs::PhaseScope phase("redistribution");
+    redist::prepack_sequential(factor, solve_map, redist_options,
+                               &local_factor);
+    result.redist_time = 0.0;
+  } else {
     obs::PhaseScope phase("redistribution");
     auto machine = make_backend(options.backend, p, options);
     const redist::Report report = run_phase(
@@ -389,6 +397,21 @@ ParallelSolveResult parallel_solve(const sparse::SymmetricCsc& a,
     solver_options.block_size = redist_options.block_1d;
     partrisolve::DistributedTrisolver solver(factor, &local_factor,
                                              solve_map, solver_options);
+    if (options.fuse_redistribution) {
+      // Fused 2-D -> 1-D conversion: each shared supernode's fragments
+      // are exchanged at its first touch in the forward sweep, on a tag
+      // plane above everything the solver emits.  Each rank fills only
+      // its own slice of local_factor, so the concurrent writes from the
+      // SPMD ranks never alias.
+      const int tag_base = solver.tag_limit();
+      solver.set_forward_prologue(
+          [&factor, &solve_map, redist_options, &local_factor,
+           tag_base](exec::Process& proc, index_t s) {
+            redist::redistribute_supernode(proc, factor, solve_map,
+                                           redist_options, s, &local_factor,
+                                           tag_base);
+          });
+    }
     auto machine = make_backend(options.backend, p, options);
     std::vector<real_t> y_perm(b.size(), 0.0);
     {

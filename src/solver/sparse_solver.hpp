@@ -111,6 +111,14 @@ struct Options {
   /// degraded factorization, and the residual it tries to reach.
   int refine_max_iterations = 5;
   real_t refine_tolerance = 1e-10;
+  /// Pipeline fusion: run the 2-D -> 1-D factor redistribution inside the
+  /// forward-solve sweep (each supernode's fragments arrive just before
+  /// its triangular solve) instead of as a separate barrier phase between
+  /// factorization and the solves.  The solution is bit-identical either
+  /// way; only the phase structure changes.  When enabled,
+  /// ParallelSolveResult::redist_time is 0 — the conversion's cost is
+  /// accounted inside forward_time.
+  bool fuse_redistribution = false;
 };
 
 struct AnalysisInfo {

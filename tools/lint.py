@@ -14,6 +14,11 @@ Rules (see docs/static_analysis.md):
                   tags must come from a named scheme or constant that the
                   reader can audit — not from magic numbers.  Tests are
                   exempt: micro-programs use literal tags deliberately.
+  raw-panel-copy  memcpy in solver code (src/ outside the exec/common
+                  layers and the blessed pack/unpack helper
+                  partrisolve/packets.cpp).  Panel and payload bytes move
+                  through audited helpers so ProcStats::bytes_copied
+                  stays truthful; an ad-hoc memcpy is an invisible copy.
   narrowing-cast  C-style casts to integer types hide narrowing and
                   signedness bugs.  Use static_cast, which clang-tidy and
                   -Wconversion can then reason about.
@@ -96,6 +101,20 @@ RULES = [
         # simpar::Machine is the simulated backend: like src/exec/ it
         # implements the contract rather than escaping it.
         lambda rel: rel.parts[:2] not in {("src", "exec"), ("src", "simpar")},
+    ),
+    (
+        "raw-panel-copy",
+        re.compile(r"\b(?:std::)?memcpy\s*\("),
+        "raw memcpy in solver code: panel/payload bytes must move through "
+        "the sanctioned helpers (partrisolve/packets.cpp packing, the "
+        "send_owned zero-copy lane, ArenaVector moves) so every copy is "
+        "visible in ProcStats::bytes_copied; ad-hoc memcpy reintroduces "
+        "silent copies the stats cannot see",
+        # The exec/common layers ARE the sanctioned machinery, and
+        # packets.cpp is the one blessed pack/unpack site.
+        lambda rel: rel.parts[:1] == ("src",)
+        and rel.parts[:2] not in {("src", "exec"), ("src", "common")}
+        and rel.parts != ("src", "partrisolve", "packets.cpp"),
     ),
     (
         "narrowing-cast",
